@@ -1,0 +1,14 @@
+// Ablation: FM post-refinement of MELO bipartitions — the Hadley et al.
+// [26] iterative-improvement post-processing direction the paper cites.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace specpart;
+  return bench::run_bench(
+      argc, argv, "ablation_fm_postprocess",
+      "Ablation: MELO with/without FM post-refinement",
+      [](const bench::BenchCli& b) {
+        b.print(exp::run_ablation_fm_post(b.runner),
+                "Ablation: FM post-refinement of MELO (balanced cut)");
+      });
+}

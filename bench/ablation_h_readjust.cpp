@@ -1,0 +1,13 @@
+// Ablation: the paper's mid-construction H readjustment, on vs off.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace specpart;
+  return bench::run_bench(
+      argc, argv, "ablation_h_readjust",
+      "Ablation: H readjustment on/off",
+      [](const bench::BenchCli& b) {
+        b.print(exp::run_ablation_h_readjust(b.runner),
+                "Ablation: H readjustment (balanced 45-55% net cut)");
+      });
+}

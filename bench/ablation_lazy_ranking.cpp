@@ -1,0 +1,15 @@
+// Ablation: the exact O(d n^2) greedy vs the paper's lazy-ranking speedup
+// ("re-rank every ~100 iterations"). Reports both runtimes and the cut
+// delta — the speedup should cost little to no quality.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace specpart;
+  return bench::run_bench(
+      argc, argv, "ablation_lazy_ranking",
+      "Ablation: exact vs lazy-ranking MELO selection",
+      [](const bench::BenchCli& b) {
+        b.print(exp::run_ablation_lazy(b.runner),
+                "Ablation: lazy ranking (time and quality)");
+      });
+}

@@ -1,0 +1,16 @@
+// Ablation: clique net-model choice (standard / partitioning-specific /
+// Frankle) for MELO balanced cuts and RSB 4-way Scaled Cost — the paper's
+// section 5 discussion of net models, as a table.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace specpart;
+  return bench::run_bench(
+      argc, argv, "ablation_net_models",
+      "Ablation: net model choice for MELO and RSB",
+      [](const bench::BenchCli& b) {
+        b.print(exp::run_ablation_net_models(b.runner),
+                "Ablation: net models (MELO balanced cut; RSB k=4 Scaled "
+                "Cost x 1e5)");
+      });
+}

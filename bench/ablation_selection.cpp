@@ -1,0 +1,14 @@
+// Ablation: greedy selection rule — magnitude (||S+y||^2) vs projection
+// (S.y) vs cosine (S.y/||y||). Magnitude is the library default.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace specpart;
+  return bench::run_bench(
+      argc, argv, "ablation_selection",
+      "Ablation: MELO greedy selection rule",
+      [](const bench::BenchCli& b) {
+        b.print(exp::run_ablation_selection(b.runner),
+                "Ablation: selection rule (balanced 45-55% net cut)");
+      });
+}

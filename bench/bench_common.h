@@ -1,0 +1,63 @@
+// Shared CLI scaffolding for the experiment binaries: every table/figure
+// bench accepts --scale/--limit/--seed/--csv and prints an aligned table
+// (or CSV) to stdout.
+#pragma once
+
+#include <iostream>
+
+#include "exp/runners.h"
+#include "util/cli.h"
+#include "util/error.h"
+
+namespace specpart::bench {
+
+struct BenchCli {
+  Cli cli;
+  exp::RunnerOptions runner;
+  bool csv = false;
+
+  explicit BenchCli(const std::string& name, const std::string& description)
+      : cli(name, description) {
+    cli.add_flag("scale", "0.5",
+                 "suite scale factor in (0,1]; 1.0 = paper-sized instances");
+    cli.add_flag("limit", "0", "use only the first N benchmarks (0 = all)");
+    cli.add_flag("seed", "7", "base random seed");
+    cli.add_flag("csv", "false", "emit CSV instead of an aligned table");
+  }
+
+  /// Returns false when --help was printed (caller should exit 0).
+  bool parse(int argc, char** argv) {
+    if (!cli.parse(argc, argv)) return false;
+    runner.scale = cli.get_double("scale");
+    runner.limit = static_cast<std::size_t>(cli.get_int("limit"));
+    runner.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    csv = cli.get_bool("csv");
+    return true;
+  }
+
+  void print(const exp::Table& table, const std::string& title) const {
+    if (csv) {
+      table.print_csv(std::cout);
+    } else {
+      exp::print_banner(std::cout, title);
+      table.print(std::cout);
+    }
+  }
+};
+
+/// Standard wrapper: parse flags, run, print, catch input errors.
+template <typename RunFn>
+int run_bench(int argc, char** argv, const std::string& name,
+              const std::string& description, RunFn run) {
+  BenchCli bench(name, description);
+  try {
+    if (!bench.parse(argc, argv)) return 0;
+    run(bench);
+  } catch (const Error& e) {
+    std::cerr << name << ": " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace specpart::bench

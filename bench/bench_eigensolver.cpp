@@ -1,0 +1,90 @@
+// Microbenchmarks for the eigensolver substrate (google-benchmark).
+//
+// The paper quotes LASO2 Lanczos runtimes for its eigenvector computations;
+// this is the equivalent measurement for our from-scratch Lanczos, plus the
+// dense oracle for context.
+#include <benchmark/benchmark.h>
+
+#include "graph/generator.h"
+#include "graph/laplacian.h"
+#include "linalg/lanczos.h"
+#include "linalg/symmetric_eigen.h"
+#include "model/clique_models.h"
+
+namespace {
+
+using namespace specpart;
+
+linalg::SymCsrMatrix benchmark_laplacian(std::size_t modules) {
+  graph::GeneratorConfig cfg;
+  cfg.num_modules = modules;
+  cfg.num_nets = modules + modules / 10;
+  cfg.seed = 99;
+  const graph::Hypergraph h = graph::generate_netlist(cfg);
+  return graph::build_laplacian(
+      model::clique_expand(h, model::NetModel::kPartitioningSpecific));
+}
+
+void BM_LanczosSmallest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  const linalg::SymCsrMatrix q = benchmark_laplacian(n);
+  for (auto _ : state) {
+    linalg::LanczosOptions opts;
+    opts.num_eigenpairs = d;
+    benchmark::DoNotOptimize(linalg::lanczos_smallest(q, opts));
+  }
+  state.SetLabel("n=" + std::to_string(n) + " d=" + std::to_string(d));
+}
+BENCHMARK(BM_LanczosSmallest)
+    ->Args({500, 2})
+    ->Args({500, 10})
+    ->Args({2000, 2})
+    ->Args({2000, 10})
+    ->Args({6000, 10})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LanczosSelective(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  const linalg::SymCsrMatrix q = benchmark_laplacian(n);
+  for (auto _ : state) {
+    linalg::LanczosOptions opts;
+    opts.num_eigenpairs = d;
+    opts.reorthogonalization = linalg::Reorthogonalization::kSelective;
+    benchmark::DoNotOptimize(linalg::lanczos_smallest(q, opts));
+  }
+  state.SetLabel("n=" + std::to_string(n) + " d=" + std::to_string(d) +
+                 " selective");
+}
+BENCHMARK(BM_LanczosSelective)
+    ->Args({2000, 10})
+    ->Args({6000, 10})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DenseEigenOracle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::DenseMatrix a = benchmark_laplacian(n).to_dense();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(linalg::solve_symmetric_eigen(a));
+  state.SetLabel("n=" + std::to_string(n));
+}
+BENCHMARK(BM_DenseEigenOracle)->Arg(100)->Arg(200)->Arg(400)->Unit(
+    benchmark::kMillisecond);
+
+void BM_SparseMatvec(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::SymCsrMatrix q = benchmark_laplacian(n);
+  linalg::Vec x(n, 1.0), y;
+  for (auto _ : state) {
+    q.matvec(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(q.nnz()));
+}
+BENCHMARK(BM_SparseMatvec)->Arg(2000)->Arg(6000)->Arg(20000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

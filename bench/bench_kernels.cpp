@@ -1,0 +1,104 @@
+// Microbenchmarks for the algorithmic kernels (google-benchmark): MELO
+// ordering construction (exact vs lazy), DP-RP splitting, FM passes, and
+// the clique expansion.
+#include <benchmark/benchmark.h>
+
+#include "core/drivers.h"
+#include "core/melo.h"
+#include "core/reduction.h"
+#include "graph/generator.h"
+#include "model/clique_models.h"
+#include "part/fm.h"
+#include "spectral/dprp.h"
+#include "spectral/embedding.h"
+
+namespace {
+
+using namespace specpart;
+
+graph::Hypergraph make_netlist(std::size_t modules) {
+  graph::GeneratorConfig cfg;
+  cfg.num_modules = modules;
+  cfg.num_nets = modules + modules / 10;
+  cfg.seed = 1234;
+  return graph::generate_netlist(cfg);
+}
+
+core::VectorInstance make_vectors(const graph::Hypergraph& h, std::size_t d) {
+  const graph::Graph g =
+      model::clique_expand(h, model::NetModel::kPartitioningSpecific);
+  spectral::EmbeddingOptions eo;
+  eo.count = d;
+  const spectral::EigenBasis basis = spectral::compute_eigenbasis(g, eo);
+  return core::build_scaled_instance(basis, core::CoordScaling::kSqrtGap,
+                                     core::default_h(basis));
+}
+
+void BM_MeloOrderingExact(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Hypergraph h = make_netlist(n);
+  const core::VectorInstance inst = make_vectors(h, 10);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::melo_order_vectors(inst, core::MeloOrderingOptions{}));
+  state.SetLabel("n=" + std::to_string(n) + " d=10 exact");
+}
+BENCHMARK(BM_MeloOrderingExact)->Arg(500)->Arg(1500)->Arg(3000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_MeloOrderingLazy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Hypergraph h = make_netlist(n);
+  const core::VectorInstance inst = make_vectors(h, 10);
+  core::MeloOrderingOptions opts;
+  opts.lazy_ranking = true;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::melo_order_vectors(inst, opts));
+  state.SetLabel("n=" + std::to_string(n) + " d=10 lazy");
+}
+BENCHMARK(BM_MeloOrderingLazy)->Arg(500)->Arg(1500)->Arg(3000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_DprpSplit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  const graph::Hypergraph h = make_netlist(n);
+  core::MeloOptions m;
+  const auto runs = core::melo_orderings(h, m);
+  spectral::DprpOptions opts;
+  opts.k = k;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(spectral::dprp_split(h, runs[0].ordering, opts));
+  state.SetLabel("n=" + std::to_string(n) + " k=" + std::to_string(k));
+}
+BENCHMARK(BM_DprpSplit)
+    ->Args({500, 4})
+    ->Args({1500, 4})
+    ->Args({1500, 10})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FmBipartition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Hypergraph h = make_netlist(n);
+  part::FmOptions opts;
+  opts.num_starts = 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(part::fm_bipartition(h, opts));
+  state.SetLabel("n=" + std::to_string(n) + " 1 start");
+}
+BENCHMARK(BM_FmBipartition)->Arg(500)->Arg(1500)->Arg(3000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_CliqueExpand(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Hypergraph h = make_netlist(n);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        model::clique_expand(h, model::NetModel::kPartitioningSpecific));
+}
+BENCHMARK(BM_CliqueExpand)->Arg(1500)->Arg(6000)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

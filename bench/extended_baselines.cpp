@@ -1,0 +1,16 @@
+// Extended comparison beyond the paper's Table 5: MELO against the other
+// spectral families the paper surveys (Frankle-Karp probes [19], Barnes'
+// transportation method [7]) and against move-based partitioners (flat FM
+// and multilevel FM), all on the balanced 45-55% net-cut protocol.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace specpart;
+  return bench::run_bench(
+      argc, argv, "extended_baselines",
+      "Extended balanced-bipartitioning comparison",
+      [](const bench::BenchCli& b) {
+        b.print(exp::run_extended_bipartitioners(b.runner),
+                "Extended comparison: balanced 45-55% net cut");
+      });
+}

@@ -1,0 +1,26 @@
+// Extended multi-way comparison beyond Table 4: Scaled Cost of MELO vs RSB
+// vs spectral k-means (the "points in d-space" family taken to Lloyd's
+// algorithm) vs Barnes' transportation method [7].
+#include "bench_common.h"
+#include "util/stringutil.h"
+
+int main(int argc, char** argv) {
+  using namespace specpart;
+  bench::BenchCli b("extended_multiway",
+                    "Extended multi-way Scaled Cost comparison");
+  b.cli.add_flag("ks", "4,8", "comma-separated cluster counts");
+  try {
+    if (!b.parse(argc, argv)) return 0;
+    std::vector<std::uint32_t> ks;
+    for (const std::string& tok : split_char(b.cli.get("ks"), ','))
+      if (!trim(tok).empty())
+        ks.push_back(static_cast<std::uint32_t>(parse_size(tok, "--ks")));
+    SP_CHECK_INPUT(!ks.empty(), "--ks must list at least one value");
+    b.print(exp::run_extended_multiway(b.runner, ks),
+            "Extended multi-way: Scaled Cost x 1e5");
+  } catch (const Error& e) {
+    std::cerr << "extended_multiway: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Regenerates the paper's titular claim as a plottable series: balanced
+// bipartitioning cut as a function of the number of eigenvectors d on one
+// benchmark, with the SB cut as the reference line.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace specpart;
+  bench::BenchCli b("fig_quality_vs_d",
+                    "Figure: MELO balanced cut vs d (series for plotting)");
+  b.cli.add_flag("benchmark", "prim2", "suite benchmark to sweep");
+  b.cli.add_flag("max-d", "20", "largest eigenvector count");
+  try {
+    if (!b.parse(argc, argv)) return 0;
+    b.print(exp::run_fig_quality_vs_d(
+                b.runner, b.cli.get("benchmark"),
+                static_cast<std::size_t>(b.cli.get_int("max-d"))),
+            "Figure: quality vs d on " + b.cli.get("benchmark"));
+  } catch (const Error& e) {
+    std::cerr << "fig_quality_vs_d: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Regenerates Table 1: the benchmark suite statistics.
+//
+// Paper: names and module/net counts of the ACM/SIGDA netlists. Here: the
+// synthetic stand-ins with matching names and sizes (DESIGN.md §4).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace specpart;
+  return bench::run_bench(
+      argc, argv, "table1_suite",
+      "Table 1: benchmark suite statistics (synthetic stand-ins)",
+      [](const bench::BenchCli& b) {
+        b.print(exp::run_table1(b.runner), "Table 1: benchmark suite");
+      });
+}

@@ -1,0 +1,24 @@
+// Regenerates Table 2: comparison of the MELO weighting schemes #1-#4
+// (eigenvector coordinate scalings) on balanced bipartitioning net cut.
+//
+// Paper finding to reproduce: no scheme dominates across benchmarks, and
+// the magnitude-bearing schemes are solid defaults.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace specpart;
+  bench::BenchCli b("table2_schemes",
+                    "Table 2: MELO weighting schemes #1-#4 (balanced cut)");
+  b.cli.add_flag("d", "10", "number of eigenvectors");
+  try {
+    if (!b.parse(argc, argv)) return 0;
+    const auto d = static_cast<std::size_t>(b.cli.get_int("d"));
+    b.print(exp::run_table2_schemes(b.runner, d),
+            "Table 2: weighting schemes (balanced 45-55% net cut, d=" +
+                std::to_string(d) + ")");
+  } catch (const Error& e) {
+    std::cerr << "table2_schemes: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

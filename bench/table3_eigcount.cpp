@@ -1,0 +1,25 @@
+// Regenerates Table 3: MELO quality as a function of the eigenvector count
+// d — the table behind the paper's title. Expect the cut to (mostly) fall
+// as d grows, with d = 2 reproducing SB.
+#include "bench_common.h"
+#include "util/stringutil.h"
+
+int main(int argc, char** argv) {
+  using namespace specpart;
+  bench::BenchCli b("table3_eigcount",
+                    "Table 3: MELO balanced cut vs number of eigenvectors");
+  b.cli.add_flag("dims", "2,3,5,10,15,20", "comma-separated d values");
+  try {
+    if (!b.parse(argc, argv)) return 0;
+    std::vector<std::size_t> dims;
+    for (const std::string& tok : split_char(b.cli.get("dims"), ','))
+      if (!trim(tok).empty()) dims.push_back(parse_size(tok, "--dims"));
+    SP_CHECK_INPUT(!dims.empty(), "--dims must list at least one value");
+    b.print(exp::run_table3_dims(b.runner, dims),
+            "Table 3: balanced 45-55% net cut vs d");
+  } catch (const Error& e) {
+    std::cerr << "table3_eigcount: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

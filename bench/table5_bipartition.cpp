@@ -1,0 +1,19 @@
+// Regenerates Table 5: balanced (45-55%) bipartitioning net cuts — SB vs
+// multi-start FM (the PARABOLI stand-in, DESIGN.md §4) vs MELO — plus the
+// MELO ordering-construction runtimes at d = 2 and d = 10.
+//
+// Shape to reproduce: MELO clearly beats SB; the strong move-based baseline
+// (FM here, PARABOLI in the paper) remains hard to beat; MELO runtimes stay
+// modest even at d = 10.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace specpart;
+  return bench::run_bench(
+      argc, argv, "table5_bipartition",
+      "Table 5: balanced bipartitioning — SB vs FM vs MELO",
+      [](const bench::BenchCli& b) {
+        b.print(exp::run_table5_bipart(b.runner),
+                "Table 5: balanced 45-55% net cut + MELO ordering runtimes");
+      });
+}

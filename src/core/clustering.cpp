@@ -1,0 +1,90 @@
+#include "core/clustering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/drivers.h"
+#include "part/ordering.h"
+#include "util/error.h"
+
+namespace specpart::core {
+
+ClusteringResult extract_clusters(const graph::Hypergraph& h,
+                                  const ClusteringOptions& opts) {
+  const std::size_t n = h.num_nodes();
+  SP_CHECK_INPUT(n >= 2, "extract_clusters: need at least 2 vertices");
+  SP_CHECK_INPUT(opts.min_cluster_fraction > 0.0 &&
+                     opts.min_cluster_fraction <= opts.max_cluster_fraction &&
+                     opts.max_cluster_fraction < 1.0,
+                 "extract_clusters: need 0 < min <= max < 1 fractions");
+
+  // Size window in vertices, relative to the ORIGINAL netlist, so late
+  // extractions cannot shred the tail into slivers.
+  const std::size_t lo = std::max<std::size_t>(
+      2, static_cast<std::size_t>(opts.min_cluster_fraction *
+                                  static_cast<double>(n)));
+  const std::size_t hi = std::max(
+      lo, static_cast<std::size_t>(opts.max_cluster_fraction *
+                                   static_cast<double>(n)));
+
+  std::vector<std::uint32_t> assignment(n, 0);
+  std::vector<graph::NodeId> remaining(n);
+  std::iota(remaining.begin(), remaining.end(), 0u);
+
+  std::uint32_t next_cluster = 0;
+  MeloOptions melo;
+  melo.num_eigenvectors = opts.num_eigenvectors;
+  melo.net_model = opts.net_model;
+  melo.seed = opts.seed;
+
+  // Extract while both the candidate cluster and the remainder can stay
+  // within the window.
+  while (remaining.size() >= 2 * lo &&
+         (opts.max_clusters == 0 || next_cluster + 1 < opts.max_clusters)) {
+    const graph::Hypergraph sub = h.induced(remaining);
+    if (sub.num_nets() == 0) break;  // no structure left to read
+
+    melo.seed += 1;
+    const std::vector<MeloOrderingRun> runs = melo_orderings(sub, melo);
+    const part::Ordering& order = runs.front().ordering;
+    const std::vector<double> cuts = part::prefix_cuts(sub, order);
+
+    // Best prefix by external density E(C)/|C| within the size window.
+    const std::size_t window_hi =
+        std::min(hi, remaining.size() - lo);
+    if (window_hi < lo) break;
+    std::size_t take = lo;
+    double best_density = cuts[lo] / static_cast<double>(lo);
+    for (std::size_t i = lo + 1; i <= window_hi; ++i) {
+      const double density = cuts[i] / static_cast<double>(i);
+      if (density < best_density) {
+        best_density = density;
+        take = i;
+      }
+    }
+
+    // The prefix becomes a cluster; the rest stays in play.
+    std::vector<graph::NodeId> rest;
+    rest.reserve(remaining.size() - take);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      const graph::NodeId original = remaining[order[pos]];
+      if (pos < take)
+        assignment[original] = next_cluster;
+      else
+        rest.push_back(original);
+    }
+    ++next_cluster;
+    remaining = std::move(rest);
+  }
+
+  // Remainder is the final cluster.
+  for (graph::NodeId v : remaining) assignment[v] = next_cluster;
+  ++next_cluster;
+
+  ClusteringResult result;
+  result.partition = part::Partition(std::move(assignment), next_cluster);
+  result.num_clusters = next_cluster;
+  return result;
+}
+
+}  // namespace specpart::core

@@ -1,0 +1,44 @@
+// Bottom-up cluster extraction via MELO orderings — the paper's closing
+// direction ("it should be possible to identify such subsets of vectors and
+// thereby construct high-quality clusterings") made concrete.
+//
+// Repeatedly: build the MELO ordering of the remaining sub-netlist, peel
+// off the prefix with the best ratio cut (within size bounds) as a new
+// cluster, and recurse on the remainder. Unlike DP-RP this does not fix k
+// in advance — the netlist's own structure decides how many clusters come
+// out.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/hypergraph.h"
+#include "model/clique_models.h"
+#include "part/partition.h"
+
+namespace specpart::core {
+
+struct ClusteringOptions {
+  std::size_t num_eigenvectors = 8;
+  model::NetModel net_model = model::NetModel::kPartitioningSpecific;
+  /// Size bounds for one extracted cluster, as fractions of the REMAINING
+  /// vertices.
+  double min_cluster_fraction = 0.10;
+  double max_cluster_fraction = 0.50;
+  /// Stop extracting once this many clusters exist (0 = keep going until
+  /// the remainder is a single cluster's worth).
+  std::uint32_t max_clusters = 0;
+  std::uint64_t seed = 0xC1D5ULL;
+};
+
+struct ClusteringResult {
+  part::Partition partition;
+  std::uint32_t num_clusters = 0;
+};
+
+/// Extracts clusters until the remainder is small or max_clusters is
+/// reached; the remainder becomes the final cluster. Every vertex is
+/// assigned. Requires at least 2 vertices.
+ClusteringResult extract_clusters(const graph::Hypergraph& h,
+                                  const ClusteringOptions& opts);
+
+}  // namespace specpart::core

@@ -1,0 +1,144 @@
+#include "core/drivers.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/reduction.h"
+#include "part/objectives.h"
+#include "part/ordering.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace specpart::core {
+
+namespace {
+
+/// E(C) of a vertex set in a graph: total weight of edges leaving the set.
+double set_degree(const graph::Graph& g, const std::vector<graph::NodeId>& c,
+                  std::vector<char>& scratch) {
+  scratch.assign(g.num_nodes(), 0);
+  for (graph::NodeId v : c) scratch[v] = 1;
+  double degree = 0.0;
+  for (const graph::Edge& e : g.edges())
+    if (scratch[e.u] != scratch[e.v]) degree += e.weight;
+  return degree;
+}
+
+}  // namespace
+
+std::vector<MeloOrderingRun> melo_orderings(const graph::Hypergraph& h,
+                                            const MeloOptions& opts) {
+  SP_CHECK_INPUT(h.num_nodes() >= 2, "MELO: need at least 2 vertices");
+  SP_CHECK_INPUT(opts.num_eigenvectors >= 1, "MELO: need d >= 1");
+
+  Timer eigen_timer;
+  const graph::Graph g = model::clique_expand(h, opts.net_model);
+  spectral::EmbeddingOptions eopts;
+  eopts.count = opts.num_eigenvectors;
+  eopts.skip_trivial = !opts.include_trivial;
+  eopts.dense_threshold = opts.dense_threshold;
+  eopts.seed = opts.seed;
+  const spectral::EigenBasis basis = spectral::compute_eigenbasis(g, eopts);
+  const double eigen_seconds = eigen_timer.seconds();
+
+  const double h0 =
+      opts.h_override > 0.0 ? opts.h_override : default_h(basis);
+  const VectorInstance base_instance =
+      build_scaled_instance(basis, opts.scaling, h0);
+
+  std::vector<char> scratch;
+  std::vector<MeloOrderingRun> runs;
+  const std::size_t starts = std::max<std::size_t>(1, opts.num_starts);
+  for (std::size_t start = 0; start < starts; ++start) {
+    MeloOrderingRun run;
+    run.h_initial = h0;
+    run.h_final = h0;
+
+    MeloOrderingOptions oopts;
+    oopts.selection = opts.selection;
+    oopts.lazy_ranking = opts.lazy_ranking;
+    oopts.lazy_window = opts.lazy_window;
+    oopts.lazy_rerank_interval = opts.lazy_rerank_interval;
+    oopts.start_rank = start;
+
+    MeloReadjust readjust;
+    const bool do_readjust = opts.readjust_h && opts.h_override <= 0.0 &&
+                             scaling_uses_h(opts.scaling) &&
+                             h.num_nodes() >= 8;
+    if (do_readjust) {
+      readjust.at = h.num_nodes() / 2;
+      readjust.rebuild =
+          [&](const std::vector<graph::NodeId>& members) -> VectorInstance {
+        const double degree = set_degree(g, members, scratch);
+        run.h_final = readjusted_h(basis, members, degree);
+        return build_scaled_instance(basis, opts.scaling, run.h_final);
+      };
+    }
+
+    Timer order_timer;
+    run.ordering = melo_order_vectors(base_instance, oopts,
+                                      do_readjust ? &readjust : nullptr);
+    run.ordering_seconds = order_timer.seconds();
+    run.eigen_seconds = eigen_seconds;
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+MeloBipartitionResult melo_bipartition(const graph::Hypergraph& h,
+                                       const MeloOptions& opts,
+                                       double min_fraction) {
+  const std::vector<MeloOrderingRun> runs = melo_orderings(h, opts);
+  MeloBipartitionResult best;
+  double best_objective = std::numeric_limits<double>::infinity();
+  bool have = false;
+  for (const MeloOrderingRun& run : runs) {
+    const part::SplitResult split =
+        min_fraction > 0.0
+            ? part::best_min_cut_split(h, run.ordering, min_fraction)
+            : part::best_ratio_cut_split(h, run.ordering);
+    best.ordering_seconds += run.ordering_seconds;
+    best.eigen_seconds = run.eigen_seconds;
+    if (!split.feasible) continue;
+    if (!have || split.objective < best_objective) {
+      have = true;
+      best_objective = split.objective;
+      best.partition = part::split_to_partition(run.ordering, split.split);
+      best.ordering = run.ordering;
+      best.split = split.split;
+      best.cut = split.cut;
+    }
+  }
+  SP_CHECK_INPUT(have, "MELO bipartition: no feasible split");
+  best.ratio_cut = part::ratio_cut(h, best.partition);
+  return best;
+}
+
+MeloMultiwayResult melo_multiway(const graph::Hypergraph& h, std::uint32_t k,
+                                 const MeloOptions& opts,
+                                 std::size_t min_cluster_size,
+                                 std::size_t max_cluster_size) {
+  const std::vector<MeloOrderingRun> runs = melo_orderings(h, opts);
+  spectral::DprpOptions dopts;
+  dopts.k = k;
+  dopts.min_cluster_size = min_cluster_size;
+  dopts.max_cluster_size = max_cluster_size;
+
+  MeloMultiwayResult best;
+  bool have = false;
+  for (const MeloOrderingRun& run : runs) {
+    const spectral::DprpResult dp = spectral::dprp_split(h, run.ordering, dopts);
+    best.ordering_seconds += run.ordering_seconds;
+    best.eigen_seconds = run.eigen_seconds;
+    if (!have || dp.scaled_cost < best.scaled_cost) {
+      have = true;
+      best.partition = dp.partition;
+      best.ordering = run.ordering;
+      best.scaled_cost = dp.scaled_cost;
+    }
+  }
+  SP_ASSERT(have);
+  return best;
+}
+
+}  // namespace specpart::core

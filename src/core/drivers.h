@@ -1,0 +1,97 @@
+// End-to-end MELO pipelines on netlists.
+//
+// These drivers wire the full paper pipeline together:
+//   netlist --clique model--> graph --Lanczos--> eigenbasis
+//           --reduction(H)--> vectors --MELO greedy--> ordering
+//           --split / DP-RP--> partitioning
+// and expose the experiment-facing knobs (d, weighting scheme, net model,
+// H readjustment, multi-start, lazy ranking).
+#pragma once
+
+#include <cstdint>
+
+#include "core/melo.h"
+#include "core/reduction.h"
+#include "graph/hypergraph.h"
+#include "model/clique_models.h"
+#include "part/partition.h"
+#include "spectral/dprp.h"
+#include "spectral/embedding.h"
+
+namespace specpart::core {
+
+struct MeloOptions {
+  /// Number of eigenvectors d used to build the vertex vectors. When
+  /// include_trivial is true this count includes the trivial
+  /// (lambda = 0, constant) eigenvector, as in the reduction theory; the
+  /// paper's "MELO with two eigenvectors" = trivial + Fiedler.
+  std::size_t num_eigenvectors = 10;
+  bool include_trivial = true;
+  /// Weighting scheme #1-#4: how eigenvector coordinates are scaled.
+  CoordScaling scaling = CoordScaling::kSqrtGap;
+  /// Greedy selection rule (kept at magnitude for the paper's pipeline).
+  SelectionRule selection = SelectionRule::kMagnitude;
+  /// Recompute H from the first half-ordering and rescale coordinates
+  /// (the paper's readjustment step; only affects H-based scalings).
+  bool readjust_h = true;
+  /// Override H (> 0); 0 = automatic (default_h / readjusted_h).
+  double h_override = 0.0;
+  bool lazy_ranking = false;
+  std::size_t lazy_window = 32;
+  std::size_t lazy_rerank_interval = 64;
+  model::NetModel net_model = model::NetModel::kPartitioningSpecific;
+  /// Diversified orderings: run r uses the (r+1)-th longest vector as the
+  /// seed vertex; the best split across runs wins.
+  std::size_t num_starts = 1;
+  /// Dense eigensolver threshold (passed to the embedding driver).
+  std::size_t dense_threshold = 320;
+  std::uint64_t seed = 0x3E10ULL;
+};
+
+/// One constructed ordering with its H bookkeeping and timings.
+struct MeloOrderingRun {
+  part::Ordering ordering;
+  double h_initial = 0.0;
+  double h_final = 0.0;
+  double eigen_seconds = 0.0;     // shared eigensolve (same for all runs)
+  double ordering_seconds = 0.0;  // this run's greedy construction
+};
+
+/// Builds the eigenbasis once and constructs `opts.num_starts` orderings.
+std::vector<MeloOrderingRun> melo_orderings(const graph::Hypergraph& h,
+                                            const MeloOptions& opts);
+
+struct MeloBipartitionResult {
+  part::Partition partition;
+  part::Ordering ordering;     // the winning ordering
+  std::size_t split = 0;       // prefix length of the winning split
+  double cut = 0.0;            // net cut
+  double ratio_cut = 0.0;      // cut / (|C1| |C2|)
+  double eigen_seconds = 0.0;
+  double ordering_seconds = 0.0;  // sum over starts
+};
+
+/// MELO bipartitioning. min_fraction = 0 selects the best ratio-cut split
+/// over all prefixes; min_fraction > 0 (e.g. 0.45) selects the minimum-cut
+/// split with both sides >= min_fraction * n — the Table 5 protocol.
+MeloBipartitionResult melo_bipartition(const graph::Hypergraph& h,
+                                       const MeloOptions& opts,
+                                       double min_fraction = 0.0);
+
+struct MeloMultiwayResult {
+  part::Partition partition;
+  part::Ordering ordering;
+  double scaled_cost = 0.0;
+  double eigen_seconds = 0.0;
+  double ordering_seconds = 0.0;
+};
+
+/// MELO k-way partitioning: the best ordering is split by DP-RP under the
+/// Scaled Cost objective (the Table 4 protocol). Size bounds of 0 keep
+/// DP-RP unconstrained.
+MeloMultiwayResult melo_multiway(const graph::Hypergraph& h, std::uint32_t k,
+                                 const MeloOptions& opts,
+                                 std::size_t min_cluster_size = 1,
+                                 std::size_t max_cluster_size = 0);
+
+}  // namespace specpart::core

@@ -1,0 +1,138 @@
+#include "core/maxcut.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/melo.h"
+#include "graph/hypergraph.h"
+#include "graph/laplacian.h"
+#include "linalg/lanczos.h"
+#include "linalg/symmetric_eigen.h"
+#include "part/objectives.h"
+#include "part/ordering.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace specpart::core {
+
+double max_cut_value(const graph::Graph& g, const part::Partition& p) {
+  return part::cut_weight(g, p);
+}
+
+namespace {
+
+/// z-vectors from the top `d` Laplacian eigenpairs:
+/// z_i[j] = sqrt(lambda_j) mu_j(i).
+VectorInstance top_spectrum_vectors(const graph::Graph& g, std::size_t d,
+                                    std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  d = std::min(d, n);
+  const linalg::SymCsrMatrix q = graph::build_laplacian(g);
+
+  linalg::Vec values;           // descending
+  linalg::DenseMatrix vectors;  // columns matching `values`
+  if (n <= 320) {
+    const linalg::EigenDecomposition dec =
+        linalg::solve_symmetric_eigen(q.to_dense());
+    values.resize(d);
+    vectors = linalg::DenseMatrix(n, d);
+    for (std::size_t j = 0; j < d; ++j) {
+      values[j] = dec.values[n - 1 - j];
+      vectors.set_col(j, dec.vectors.col(n - 1 - j));
+    }
+  } else {
+    linalg::LanczosOptions opts;
+    opts.num_eigenpairs = d;
+    opts.seed = seed;
+    auto apply = [&q](const linalg::Vec& x, linalg::Vec& y) {
+      q.matvec(x, y);
+    };
+    const linalg::LanczosResult r =
+        linalg::lanczos_largest_op(n, apply, q.gershgorin_upper(), opts);
+    values = r.values;  // already descending
+    vectors = r.vectors;
+  }
+
+  VectorInstance inst;
+  inst.vectors = linalg::DenseMatrix(n, values.size());
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    const double w = std::sqrt(std::max(0.0, values[j]));
+    for (std::size_t i = 0; i < n; ++i)
+      inst.vectors.at(i, j) = w * vectors.at(i, j);
+  }
+  return inst;
+}
+
+}  // namespace
+
+MaxCutResult max_cut_melo(const graph::Graph& g, const MaxCutOptions& opts) {
+  const std::size_t n = g.num_nodes();
+  SP_CHECK_INPUT(n >= 2, "max_cut_melo: need at least 2 vertices");
+  const VectorInstance inst =
+      top_spectrum_vectors(g, opts.num_eigenvectors, opts.seed);
+  const part::Ordering order =
+      melo_order_vectors(inst, MeloOrderingOptions{});
+
+  // Sweep all prefix splits, keep the MAXIMUM cut.
+  const graph::Hypergraph h = graph::to_hypergraph(g);
+  const std::vector<double> cuts = part::prefix_cuts(h, order);
+  std::size_t best_split = 1;
+  for (std::size_t i = 2; i < n; ++i)
+    if (cuts[i] > cuts[best_split]) best_split = i;
+
+  MaxCutResult result;
+  result.partition = part::split_to_partition(order, best_split);
+  result.cut = max_cut_value(g, result.partition);
+  return result;
+}
+
+MaxCutResult max_cut_hyperplane(const graph::Graph& g,
+                                const MaxCutOptions& opts) {
+  const std::size_t n = g.num_nodes();
+  SP_CHECK_INPUT(n >= 2, "max_cut_hyperplane: need at least 2 vertices");
+  const VectorInstance inst =
+      top_spectrum_vectors(g, opts.num_eigenvectors, opts.seed);
+  const std::size_t d = inst.dimension();
+
+  Rng rng(opts.seed);
+  MaxCutResult best;
+  bool have = false;
+  for (std::size_t probe = 0;
+       probe < std::max<std::size_t>(1, opts.num_probes); ++probe) {
+    linalg::Vec r(d);
+    for (double& x : r) x = rng.next_normal();
+    std::vector<std::uint32_t> side(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+      side[i] = linalg::dot(inst.vectors.row(i), r) >= 0.0 ? 0 : 1;
+    part::Partition p(side, 2);
+    if (p.cluster_size(0) == 0 || p.cluster_size(1) == 0) continue;
+    const double cut = max_cut_value(g, p);
+    if (!have || cut > best.cut) {
+      best.partition = std::move(p);
+      best.cut = cut;
+      have = true;
+    }
+  }
+  SP_CHECK_INPUT(have, "max_cut_hyperplane: no probe produced a bipartition");
+  return best;
+}
+
+MaxCutResult max_cut_exact(const graph::Graph& g) {
+  const std::size_t n = g.num_nodes();
+  SP_CHECK_INPUT(n >= 2 && n <= 24, "max_cut_exact: n must be in [2, 24]");
+  MaxCutResult best;
+  // Vertex 0 fixed to side 0 (complement symmetry).
+  for (std::uint32_t mask = 1; mask < (1u << (n - 1)); ++mask) {
+    std::vector<std::uint32_t> side(n, 0);
+    for (std::size_t i = 1; i < n; ++i) side[i] = (mask >> (i - 1)) & 1u;
+    part::Partition p(side, 2);
+    const double cut = max_cut_value(g, p);
+    if (cut > best.cut) {
+      best.partition = std::move(p);
+      best.cut = cut;
+    }
+  }
+  return best;
+}
+
+}  // namespace specpart::core

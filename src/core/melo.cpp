@@ -1,0 +1,219 @@
+#include "core/melo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace specpart::core {
+
+const char* selection_rule_name(SelectionRule s) {
+  switch (s) {
+    case SelectionRule::kMagnitude:
+      return "magnitude";
+    case SelectionRule::kProjection:
+      return "projection";
+    case SelectionRule::kCosine:
+      return "cosine";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Greedy state: rows of the instance, running subset sum, and the scheme
+/// evaluation. Kept separate from the selection policy (exact vs lazy).
+class MeloState {
+ public:
+  MeloState(const VectorInstance& inst, SelectionRule scheme)
+      : scheme_(scheme), d_(inst.dimension()) {
+    load(inst);
+    sum_.assign(d_, 0.0);
+  }
+
+  std::size_t size() const { return rows_.size(); }
+
+  /// Replaces coordinates (H readjustment) and recomputes the subset sum
+  /// over `chosen`.
+  void reload(const VectorInstance& inst,
+              const std::vector<graph::NodeId>& chosen) {
+    SP_ASSERT(inst.size() == rows_.size() && inst.dimension() == d_);
+    load(inst);
+    sum_.assign(d_, 0.0);
+    for (graph::NodeId v : chosen)
+      for (std::size_t j = 0; j < d_; ++j) sum_[j] += rows_[v][j];
+    sum_norm_sq_ = linalg::norm_sq(sum_);
+  }
+
+  /// Selection-rule value of appending vertex v to the current subset.
+  double key(graph::NodeId v) const {
+    const linalg::Vec& y = rows_[v];
+    const double s_dot_y = linalg::dot(sum_, y);
+    const double y_sq = norms_sq_[v];
+    switch (scheme_) {
+      case SelectionRule::kMagnitude:
+        return sum_norm_sq_ + 2.0 * s_dot_y + y_sq;
+      case SelectionRule::kProjection: {
+        if (sum_norm_sq_ <= 1e-300) return y_sq;  // empty: longest first
+        return s_dot_y;
+      }
+      case SelectionRule::kCosine: {
+        if (sum_norm_sq_ <= 1e-300) return y_sq;
+        const double y_norm = std::sqrt(y_sq);
+        if (y_norm <= 1e-300) return -std::numeric_limits<double>::infinity();
+        return s_dot_y / y_norm;
+      }
+    }
+    return 0.0;
+  }
+
+  void select(graph::NodeId v) {
+    for (std::size_t j = 0; j < d_; ++j) sum_[j] += rows_[v][j];
+    sum_norm_sq_ = linalg::norm_sq(sum_);
+  }
+
+  double row_norm_sq(graph::NodeId v) const { return norms_sq_[v]; }
+
+ private:
+  void load(const VectorInstance& inst) {
+    const std::size_t n = inst.size();
+    rows_.resize(n);
+    norms_sq_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rows_[i] = inst.vectors.row(i);
+      norms_sq_[i] = linalg::norm_sq(rows_[i]);
+    }
+  }
+
+  SelectionRule scheme_;
+  std::size_t d_;
+  std::vector<linalg::Vec> rows_;
+  std::vector<double> norms_sq_;
+  linalg::Vec sum_;
+  double sum_norm_sq_ = 0.0;
+};
+
+graph::NodeId pick_start(const MeloState& state, std::size_t start_rank,
+                         std::size_t n) {
+  // (start_rank+1)-th longest vector; ties by vertex id.
+  std::vector<graph::NodeId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  const std::size_t rank = std::min(start_rank, n - 1);
+  std::nth_element(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(rank),
+                   ids.end(), [&](graph::NodeId a, graph::NodeId b) {
+                     const double na = state.row_norm_sq(a);
+                     const double nb = state.row_norm_sq(b);
+                     if (na != nb) return na > nb;
+                     return a < b;
+                   });
+  return ids[rank];
+}
+
+}  // namespace
+
+part::Ordering melo_order_vectors(const VectorInstance& inst,
+                                  const MeloOrderingOptions& opts,
+                                  const MeloReadjust* readjust) {
+  const std::size_t n = inst.size();
+  SP_CHECK_INPUT(n >= 1, "MELO: empty instance");
+  MeloState state(inst, opts.selection);
+
+  std::vector<char> chosen(n, 0);
+  part::Ordering order;
+  order.reserve(n);
+
+  auto take = [&](graph::NodeId v) {
+    chosen[v] = 1;
+    state.select(v);
+    order.push_back(v);
+    if (readjust != nullptr && readjust->at != 0 &&
+        order.size() == readjust->at && order.size() < n) {
+      const VectorInstance rebuilt = readjust->rebuild(order);
+      state.reload(rebuilt, order);
+    }
+  };
+
+  take(pick_start(state, opts.start_rank, n));
+
+  if (!opts.lazy_ranking) {
+    // Exact O(d n^2): evaluate every unchosen vector each step.
+    while (order.size() < n) {
+      graph::NodeId best = UINT32_MAX;
+      double best_key = -std::numeric_limits<double>::infinity();
+      for (graph::NodeId v = 0; v < n; ++v) {
+        if (chosen[v]) continue;
+        const double key = state.key(v);
+        if (best == UINT32_MAX || key > best_key) {
+          best_key = key;
+          best = v;
+        }
+      }
+      SP_ASSERT(best != UINT32_MAX);
+      take(best);
+    }
+    return order;
+  }
+
+  // Lazy ranking: keep a window T of the top-ranked unchosen vectors under
+  // a periodically refreshed key snapshot; evaluate only T exactly.
+  std::vector<graph::NodeId> ranked;   // unchosen, ordered by snapshot key
+  std::size_t ranked_next = 0;         // next snapshot vertex to feed into T
+  std::vector<graph::NodeId> window;
+  std::size_t since_rerank = 0;
+
+  auto rerank = [&]() {
+    ranked.clear();
+    for (graph::NodeId v = 0; v < n; ++v)
+      if (!chosen[v]) ranked.push_back(v);
+    std::vector<double> snapshot(n, 0.0);
+    for (graph::NodeId v : ranked) snapshot[v] = state.key(v);
+    std::sort(ranked.begin(), ranked.end(),
+              [&](graph::NodeId a, graph::NodeId b) {
+                if (snapshot[a] != snapshot[b])
+                  return snapshot[a] > snapshot[b];
+                return a < b;
+              });
+    window.clear();
+    ranked_next = 0;
+    while (window.size() < std::max<std::size_t>(1, opts.lazy_window) &&
+           ranked_next < ranked.size())
+      window.push_back(ranked[ranked_next++]);
+    since_rerank = 0;
+  };
+
+  rerank();
+  while (order.size() < n) {
+    if (window.empty() ||
+        since_rerank >= std::max<std::size_t>(1, opts.lazy_rerank_interval)) {
+      rerank();
+    }
+    SP_ASSERT(!window.empty());
+    // Exact evaluation inside the window only.
+    std::size_t best_slot = 0;
+    double best_key = -std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < window.size(); ++s) {
+      const double key = state.key(window[s]);
+      if (key > best_key) {
+        best_key = key;
+        best_slot = s;
+      }
+    }
+    const graph::NodeId v = window[best_slot];
+    window.erase(window.begin() + static_cast<std::ptrdiff_t>(best_slot));
+    take(v);
+    ++since_rerank;
+    // Grow T with the next snapshot-ranked unchosen vector.
+    while (ranked_next < ranked.size()) {
+      const graph::NodeId cand = ranked[ranked_next++];
+      if (!chosen[cand]) {
+        window.push_back(cand);
+        break;
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace specpart::core

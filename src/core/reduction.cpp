@@ -1,0 +1,122 @@
+#include "core/reduction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace specpart::core {
+
+double default_h(const spectral::EigenBasis& basis) {
+  const std::size_t d = basis.dimension();
+  SP_REQUIRE(d >= 1, "default_h: empty basis");
+  const double lambda_d = basis.values[d - 1];
+  if (d >= basis.n) return lambda_d;
+  double used = 0.0;
+  for (double v : basis.values) used += v;
+  const double unused_mean = (basis.laplacian_trace - used) /
+                             static_cast<double>(basis.n - d);
+  return std::max(unused_mean, lambda_d);
+}
+
+double readjusted_h(const spectral::EigenBasis& basis,
+                    const std::vector<graph::NodeId>& members,
+                    double cluster_degree) {
+  const std::size_t d = basis.dimension();
+  SP_REQUIRE(d >= 1, "readjusted_h: empty basis");
+  const double lambda_d = basis.values[d - 1];
+  if (d >= basis.n) return lambda_d;
+
+  // alpha_j = mu_j^T X_C for the first d eigenvectors.
+  double alpha_sq_used = 0.0;
+  double lambda_alpha_sq_used = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    double alpha = 0.0;
+    for (graph::NodeId v : members) alpha += basis.vectors.at(v, j);
+    alpha_sq_used += alpha * alpha;
+    lambda_alpha_sq_used += basis.values[j] * alpha * alpha;
+  }
+  // sum_j alpha_j^2 = |C|  and  sum_j lambda_j alpha_j^2 = E(C).
+  const double alpha_sq_unused =
+      static_cast<double>(members.size()) - alpha_sq_used;
+  const double lambda_alpha_sq_unused =
+      cluster_degree - lambda_alpha_sq_used;
+  if (alpha_sq_unused <= 1e-9) return default_h(basis);
+  return std::max(lambda_alpha_sq_unused / alpha_sq_unused, lambda_d);
+}
+
+VectorInstance build_max_sum_instance(const spectral::EigenBasis& basis,
+                                      double h) {
+  const std::size_t d = basis.dimension();
+  const std::size_t n = basis.n;
+  VectorInstance inst;
+  inst.vectors = linalg::DenseMatrix(n, d);
+  for (std::size_t j = 0; j < d; ++j) {
+    const double w = std::sqrt(std::max(0.0, h - basis.values[j]));
+    for (std::size_t i = 0; i < n; ++i)
+      inst.vectors.at(i, j) = w * basis.vectors.at(i, j);
+  }
+  return inst;
+}
+
+const char* coord_scaling_name(CoordScaling s) {
+  switch (s) {
+    case CoordScaling::kSqrtGap:
+      return "#1 sqrt(H-l)";
+    case CoordScaling::kGap:
+      return "#2 (H-l)";
+    case CoordScaling::kInvSqrtLambda:
+      return "#3 1/sqrt(l)";
+    case CoordScaling::kUnit:
+      return "#4 unit";
+  }
+  return "?";
+}
+
+bool scaling_uses_h(CoordScaling s) {
+  return s == CoordScaling::kSqrtGap || s == CoordScaling::kGap;
+}
+
+VectorInstance build_scaled_instance(const spectral::EigenBasis& basis,
+                                     CoordScaling scaling, double h) {
+  const std::size_t d = basis.dimension();
+  const std::size_t n = basis.n;
+  VectorInstance inst;
+  inst.vectors = linalg::DenseMatrix(n, d);
+  for (std::size_t j = 0; j < d; ++j) {
+    const double lambda = basis.values[j];
+    double w = 1.0;
+    switch (scaling) {
+      case CoordScaling::kSqrtGap:
+        w = std::sqrt(std::max(0.0, h - lambda));
+        break;
+      case CoordScaling::kGap:
+        w = std::max(0.0, h - lambda);
+        break;
+      case CoordScaling::kInvSqrtLambda:
+        w = lambda > 1e-9 ? 1.0 / std::sqrt(lambda) : 0.0;
+        break;
+      case CoordScaling::kUnit:
+        w = 1.0;
+        break;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      inst.vectors.at(i, j) = w * basis.vectors.at(i, j);
+  }
+  return inst;
+}
+
+VectorInstance build_min_sum_instance(const spectral::EigenBasis& basis) {
+  const std::size_t d = basis.dimension();
+  const std::size_t n = basis.n;
+  VectorInstance inst;
+  inst.vectors = linalg::DenseMatrix(n, d);
+  for (std::size_t j = 0; j < d; ++j) {
+    const double w = std::sqrt(std::max(0.0, basis.values[j]));
+    for (std::size_t i = 0; i < n; ++i)
+      inst.vectors.at(i, j) = w * basis.vectors.at(i, j);
+  }
+  return inst;
+}
+
+}  // namespace specpart::core

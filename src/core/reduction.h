@@ -1,0 +1,79 @@
+// The graph-partitioning -> vector-partitioning reduction (paper section 3).
+//
+// Given d Laplacian eigenpairs (lambda_j, mu_j) and a constant H, vertex v_i
+// maps to the d-vector
+//
+//     y_i[j] = sqrt(H - lambda_j) * mu_j(i).
+//
+// With all n eigenvectors, sum_h ||Y_h||^2 = nH - f(P_k) identically, so
+// min-cut == max-sum vector partitioning (Theorem/Corollaries 2-5); with
+// d < n the identity becomes an approximation whose missing mass lives in
+// the unused eigenvectors — the reason "more eigenvectors" is better.
+//
+// H selection: exactness needs only H >= lambda_d (real square roots). To
+// minimize the truncation error the paper chooses H so the expected
+// contribution of the unused eigenvectors vanishes: H = the alpha^2-weighted
+// mean of the unused eigenvalues. Before any cluster is known we estimate
+// it with the *plain* mean of the unused eigenvalues, which is exactly
+// computable from trace(Q) = sum of all eigenvalues. Once a cluster C is
+// available, readjusted_h() solves sum_{j>d} (H - lambda_j) alpha_j^2 = 0
+// using the identities sum_j alpha_j^2 = |C| and
+// sum_j lambda_j alpha_j^2 = E(C) (cluster degree in the graph), both known
+// without computing any extra eigenvector.
+#pragma once
+
+#include "core/vecpart.h"
+#include "spectral/embedding.h"
+
+namespace specpart::core {
+
+/// H from the no-cluster-information estimate: mean of the unused
+/// eigenvalues (exact via trace(Q)), clamped to lambda_d so the square
+/// roots stay real. With d = n, returns lambda_n.
+double default_h(const spectral::EigenBasis& basis);
+
+/// H re-estimated from a concrete cluster (see file comment).
+/// `members` are the vertex ids of the cluster and `cluster_degree` its
+/// E(C) in the graph (sum of weights of edges leaving C). Clamped to
+/// lambda_d. Falls back to default_h when the denominator vanishes
+/// (cluster fully captured by the first d eigenvectors).
+double readjusted_h(const spectral::EigenBasis& basis,
+                    const std::vector<graph::NodeId>& members,
+                    double cluster_degree);
+
+/// Builds the max-sum instance: row i = y_i^d with the given H.
+VectorInstance build_max_sum_instance(const spectral::EigenBasis& basis,
+                                      double h);
+
+/// The paper compares several eigenvector "weighting schemes" for the
+/// vector construction (section 4; formulas reconstructed, see DESIGN.md).
+/// Coordinate j of vertex vector y_i is w(lambda_j) * mu_j(i) with:
+///   #1 kSqrtGap        w = sqrt(H - lambda)   (the reduction-derived form)
+///   #2 kGap            w = H - lambda         (quadratic low-pass emphasis)
+///   #3 kInvSqrtLambda  w = 1/sqrt(lambda)     (quadratic-placement flavor;
+///                                              the trivial lambda=0 pair
+///                                              gets weight 0)
+///   #4 kUnit           w = 1                  (unweighted eigenvectors)
+enum class CoordScaling {
+  kSqrtGap = 1,
+  kGap = 2,
+  kInvSqrtLambda = 3,
+  kUnit = 4,
+};
+
+const char* coord_scaling_name(CoordScaling s);
+
+/// True when the scaling's weights depend on H (and hence benefit from the
+/// mid-construction H readjustment).
+bool scaling_uses_h(CoordScaling s);
+
+/// Builds the vertex-vector instance under the chosen weighting scheme.
+/// `h` is ignored by schemes that do not use it.
+VectorInstance build_scaled_instance(const spectral::EigenBasis& basis,
+                                     CoordScaling scaling, double h);
+
+/// Builds the min-sum instance z_i[j] = sqrt(lambda_j) * mu_j(i), for which
+/// sum_h ||Z_h||^2 = f(P_k) exactly when d = n (the dual reduction).
+VectorInstance build_min_sum_instance(const spectral::EigenBasis& basis);
+
+}  // namespace specpart::core

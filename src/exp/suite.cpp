@@ -1,0 +1,63 @@
+#include "exp/suite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace specpart::exp {
+
+namespace {
+
+Benchmark make(const std::string& name, std::size_t modules, std::size_t nets,
+               std::size_t clusters, std::size_t subclusters,
+               std::uint64_t seed, double scale) {
+  graph::GeneratorConfig cfg;
+  cfg.name = name;
+  cfg.num_modules = std::max<std::size_t>(
+      32, static_cast<std::size_t>(std::lround(modules * scale)));
+  cfg.num_nets = std::max<std::size_t>(
+      32, static_cast<std::size_t>(std::lround(nets * scale)));
+  cfg.num_clusters = clusters;
+  cfg.subclusters_per_cluster = subclusters;
+  cfg.seed = seed;
+  return Benchmark{name, cfg};
+}
+
+}  // namespace
+
+std::vector<Benchmark> paper_suite(double scale, std::size_t limit) {
+  SP_CHECK_INPUT(scale > 0.0 && scale <= 1.0, "suite scale must be in (0, 1]");
+  // Names and module/net counts follow the paper's Table 1; planted
+  // structure parameters are chosen per-instance so the suite spans easy
+  // (few, well-separated clusters) to hard (many, overlapping) cases.
+  std::vector<Benchmark> suite = {
+      make("balu", 801, 735, 6, 3, 0x1001, scale),
+      make("bm1", 882, 903, 8, 3, 0x1002, scale),
+      make("prim1", 833, 902, 7, 4, 0x1003, scale),
+      make("prim2", 3014, 3029, 9, 4, 0x1004, scale),
+      make("test02", 1663, 1720, 8, 4, 0x1005, scale),
+      make("test03", 1607, 1618, 6, 5, 0x1006, scale),
+      make("test04", 1515, 1658, 10, 3, 0x1007, scale),
+      make("test05", 2595, 2750, 8, 5, 0x1008, scale),
+      make("test06", 1752, 1541, 7, 3, 0x1009, scale),
+      make("19ks", 2844, 3282, 10, 4, 0x100A, scale),
+      make("struct", 1952, 1920, 8, 4, 0x100B, scale),
+      make("biomed", 6514, 5742, 12, 4, 0x100C, scale),
+  };
+  if (limit > 0 && limit < suite.size()) suite.resize(limit);
+  return suite;
+}
+
+graph::Hypergraph load(const Benchmark& b) {
+  return graph::generate_netlist(b.config);
+}
+
+Benchmark find_benchmark(const std::vector<Benchmark>& suite,
+                         const std::string& name) {
+  for (const Benchmark& b : suite)
+    if (b.name == name) return b;
+  throw Error("unknown benchmark: " + name);
+}
+
+}  // namespace specpart::exp

@@ -1,0 +1,35 @@
+// The experiment benchmark suite (stand-in for the paper's Table 1).
+//
+// The paper's ACM/SIGDA netlists are mirrored by synthetic instances with
+// matching names and module/net counts (DESIGN.md §4). A global scale
+// factor shrinks every instance proportionally for quick runs; relative
+// algorithm rankings are stable under scaling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/generator.h"
+#include "graph/hypergraph.h"
+
+namespace specpart::exp {
+
+struct Benchmark {
+  std::string name;
+  graph::GeneratorConfig config;
+};
+
+/// The 12 benchmarks mirroring the paper's Table 1 (balu .. biomed).
+/// `scale` in (0, 1] shrinks module/net counts; `limit` > 0 keeps only the
+/// first `limit` benchmarks.
+std::vector<Benchmark> paper_suite(double scale = 1.0, std::size_t limit = 0);
+
+/// Generates the netlist of one benchmark.
+graph::Hypergraph load(const Benchmark& b);
+
+/// Finds a benchmark by name in the suite (throws specpart::Error if
+/// absent).
+Benchmark find_benchmark(const std::vector<Benchmark>& suite,
+                         const std::string& name);
+
+}  // namespace specpart::exp

@@ -1,0 +1,110 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace specpart::graph {
+
+Graph::Graph(std::size_t num_nodes, const std::vector<Edge>& edges) {
+  // Canonicalize: u < v, drop self-loops, then merge parallels.
+  std::vector<Edge> canon;
+  canon.reserve(edges.size());
+  for (Edge e : edges) {
+    SP_ASSERT(e.u < num_nodes && e.v < num_nodes);
+    if (e.u == e.v) continue;
+    if (e.u > e.v) std::swap(e.u, e.v);
+    canon.push_back(e);
+  }
+  std::sort(canon.begin(), canon.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges_.reserve(canon.size());
+  for (std::size_t i = 0; i < canon.size();) {
+    std::size_t j = i;
+    double w = 0.0;
+    while (j < canon.size() && canon[j].u == canon[i].u &&
+           canon[j].v == canon[i].v) {
+      w += canon[j].weight;
+      ++j;
+    }
+    edges_.push_back({canon[i].u, canon[i].v, w});
+    total_weight_ += w;
+    i = j;
+  }
+
+  // CSR adjacency over the merged edges (both directions).
+  degree_offset_.assign(num_nodes + 1, 0);
+  for (const Edge& e : edges_) {
+    ++degree_offset_[e.u + 1];
+    ++degree_offset_[e.v + 1];
+  }
+  for (std::size_t i = 0; i < num_nodes; ++i)
+    degree_offset_[i + 1] += degree_offset_[i];
+  adjacency_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(degree_offset_.begin(),
+                                  degree_offset_.end() - 1);
+  for (const Edge& e : edges_) {
+    adjacency_[cursor[e.u]++] = {e.v, e.weight};
+    adjacency_[cursor[e.v]++] = {e.u, e.weight};
+  }
+}
+
+double Graph::degree(NodeId v) const {
+  double d = 0.0;
+  for (std::size_t s = adjacency_begin(v); s < adjacency_end(v); ++s)
+    d += adjacency_[s].weight;
+  return d;
+}
+
+std::vector<std::uint32_t> Graph::component_labels() const {
+  const std::size_t n = num_nodes();
+  std::vector<std::uint32_t> label(n, UINT32_MAX);
+  std::vector<NodeId> stack;
+  std::uint32_t next = 0;
+  for (NodeId root = 0; root < n; ++root) {
+    if (label[root] != UINT32_MAX) continue;
+    label[root] = next;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (std::size_t s = adjacency_begin(v); s < adjacency_end(v); ++s) {
+        const NodeId u = adjacency_[s].node;
+        if (label[u] == UINT32_MAX) {
+          label[u] = next;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+std::size_t Graph::num_components() const {
+  const auto labels = component_labels();
+  std::uint32_t max_label = 0;
+  for (auto l : labels) max_label = std::max(max_label, l);
+  return labels.empty() ? 0 : static_cast<std::size_t>(max_label) + 1;
+}
+
+Graph Graph::induced_subgraph(const std::vector<NodeId>& nodes) const {
+  std::vector<std::uint32_t> remap(num_nodes(), UINT32_MAX);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    SP_ASSERT(nodes[i] < num_nodes());
+    SP_REQUIRE(remap[nodes[i]] == UINT32_MAX,
+               "induced_subgraph: duplicate vertex id");
+    remap[nodes[i]] = static_cast<std::uint32_t>(i);
+  }
+  std::vector<Edge> sub_edges;
+  for (const Edge& e : edges_) {
+    const std::uint32_t u = remap[e.u];
+    const std::uint32_t v = remap[e.v];
+    if (u != UINT32_MAX && v != UINT32_MAX)
+      sub_edges.push_back({u, v, e.weight});
+  }
+  return Graph(nodes.size(), sub_edges);
+}
+
+}  // namespace specpart::graph

@@ -1,0 +1,77 @@
+// Weighted undirected graphs.
+//
+// This is the representation spectral algorithms operate on: netlists
+// (hypergraphs) are first expanded through a clique/star model (src/model)
+// into a Graph, whose Laplacian eigenvectors drive every heuristic in the
+// paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace specpart::graph {
+
+using NodeId = std::uint32_t;
+
+/// One weighted undirected edge; endpoints are unordered.
+struct Edge {
+  NodeId u;
+  NodeId v;
+  double weight;
+};
+
+/// Immutable weighted undirected graph with CSR adjacency.
+///
+/// Construction merges parallel edges (weights summed) and rejects
+/// self-loops (they never arise from net models and have no effect on cuts).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph on `num_nodes` vertices. Edges with u == v are dropped.
+  /// Parallel edges are merged by summing weights.
+  Graph(std::size_t num_nodes, const std::vector<Edge>& edges);
+
+  std::size_t num_nodes() const { return degree_offset_.empty() ? 0 : degree_offset_.size() - 1; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Weighted degree: sum of incident edge weights.
+  double degree(NodeId v) const;
+
+  /// Sum of all edge weights.
+  double total_edge_weight() const { return total_weight_; }
+
+  /// Unique edge list (u < v).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Neighbour iteration: for vertex v, neighbours() spans
+  /// [adjacency_begin(v), adjacency_end(v)) of (neighbour, weight) pairs.
+  struct Neighbour {
+    NodeId node;
+    double weight;
+  };
+  std::size_t adjacency_begin(NodeId v) const { return degree_offset_[v]; }
+  std::size_t adjacency_end(NodeId v) const { return degree_offset_[v + 1]; }
+  const Neighbour& neighbour(std::size_t slot) const { return adjacency_[slot]; }
+
+  /// Number of connected components.
+  std::size_t num_components() const;
+
+  /// Component label per vertex (labels are 0-based, contiguous).
+  std::vector<std::uint32_t> component_labels() const;
+
+  /// True if the graph has one component (or is empty).
+  bool connected() const { return num_components() <= 1; }
+
+  /// Induced subgraph on `nodes`; `nodes` must contain distinct vertex ids.
+  /// Vertex i of the result corresponds to nodes[i].
+  Graph induced_subgraph(const std::vector<NodeId>& nodes) const;
+
+ private:
+  std::vector<Edge> edges_;            // unique, u < v
+  std::vector<std::size_t> degree_offset_;
+  std::vector<Neighbour> adjacency_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace specpart::graph

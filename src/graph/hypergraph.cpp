@@ -1,0 +1,121 @@
+#include "graph/hypergraph.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace specpart::graph {
+
+Hypergraph::Hypergraph(std::size_t num_nodes,
+                       std::vector<std::vector<NodeId>> nets,
+                       std::vector<double> net_weights)
+    : nets_(std::move(nets)), net_weights_(std::move(net_weights)) {
+  if (net_weights_.empty()) net_weights_.assign(nets_.size(), 1.0);
+  SP_REQUIRE(net_weights_.size() == nets_.size(),
+             "hypergraph: net weight count mismatch");
+  node_nets_.resize(num_nodes);
+  for (NetId e = 0; e < nets_.size(); ++e) {
+    auto& pins = nets_[e];
+    for (NodeId v : pins) SP_ASSERT(v < num_nodes);
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+    num_pins_ += pins.size();
+    for (NodeId v : pins) node_nets_[v].push_back(e);
+  }
+}
+
+std::size_t Hypergraph::max_net_size() const {
+  std::size_t m = 0;
+  for (const auto& pins : nets_) m = std::max(m, pins.size());
+  return m;
+}
+
+bool Hypergraph::connected() const {
+  const std::size_t n = num_nodes();
+  if (n <= 1) return true;
+  std::vector<char> node_seen(n, 0);
+  std::vector<char> net_seen(num_nets(), 0);
+  std::vector<NodeId> stack{0};
+  node_seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NetId e : node_nets_[v]) {
+      if (net_seen[e]) continue;
+      net_seen[e] = 1;
+      for (NodeId u : nets_[e]) {
+        if (!node_seen[u]) {
+          node_seen[u] = 1;
+          ++visited;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return visited == n;
+}
+
+namespace {
+
+graph::Hypergraph induced_impl(const Hypergraph& h,
+                               const std::vector<NodeId>& nodes,
+                               bool strict) {
+  std::vector<std::uint32_t> remap(h.num_nodes(), UINT32_MAX);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    SP_ASSERT(nodes[i] < h.num_nodes());
+    SP_REQUIRE(remap[nodes[i]] == UINT32_MAX,
+               "Hypergraph::induced: duplicate vertex id");
+    remap[nodes[i]] = static_cast<std::uint32_t>(i);
+  }
+  std::vector<std::vector<NodeId>> sub_nets;
+  std::vector<double> sub_weights;
+  std::vector<NodeId> fragment;
+  for (NetId e = 0; e < h.num_nets(); ++e) {
+    fragment.clear();
+    bool complete = true;
+    for (NodeId v : h.net(e)) {
+      if (remap[v] != UINT32_MAX)
+        fragment.push_back(remap[v]);
+      else
+        complete = false;
+    }
+    if (strict && !complete) continue;
+    if (fragment.size() >= 2) {
+      sub_nets.push_back(fragment);
+      sub_weights.push_back(h.net_weight(e));
+    }
+  }
+  return Hypergraph(nodes.size(), std::move(sub_nets),
+                    std::move(sub_weights));
+}
+
+}  // namespace
+
+Hypergraph Hypergraph::induced(const std::vector<NodeId>& nodes) const {
+  return induced_impl(*this, nodes, /*strict=*/false);
+}
+
+Hypergraph Hypergraph::induced_strict(const std::vector<NodeId>& nodes) const {
+  return induced_impl(*this, nodes, /*strict=*/true);
+}
+
+void Hypergraph::set_node_names(std::vector<std::string> names) {
+  SP_REQUIRE(names.empty() || names.size() == num_nodes(),
+             "hypergraph: node name count mismatch");
+  node_names_ = std::move(names);
+}
+
+Hypergraph to_hypergraph(const Graph& g) {
+  std::vector<std::vector<NodeId>> nets;
+  std::vector<double> weights;
+  nets.reserve(g.num_edges());
+  weights.reserve(g.num_edges());
+  for (const Edge& e : g.edges()) {
+    nets.push_back({e.u, e.v});
+    weights.push_back(e.weight);
+  }
+  return Hypergraph(g.num_nodes(), std::move(nets), std::move(weights));
+}
+
+}  // namespace specpart::graph

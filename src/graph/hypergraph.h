@@ -1,0 +1,80 @@
+// Hypergraphs (circuit netlists).
+//
+// A VLSI netlist is naturally a hypergraph: modules are vertices, signal
+// nets are hyperedges over the modules they connect. All paper objectives
+// that matter to a circuit designer (net cut, Scaled Cost) are evaluated on
+// the hypergraph; the spectral machinery runs on a clique-model Graph
+// derived from it (src/model).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace specpart::graph {
+
+using NetId = std::uint32_t;
+
+/// Immutable hypergraph with pin lists and an inverse vertex -> nets index.
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  /// Builds a hypergraph on `num_nodes` vertices from a list of nets
+  /// (each net = list of pins = vertex ids). Duplicate pins within a net are
+  /// merged; nets with fewer than 2 distinct pins are kept but never count
+  /// as cut. `net_weights` is optional (empty = all 1.0).
+  Hypergraph(std::size_t num_nodes, std::vector<std::vector<NodeId>> nets,
+             std::vector<double> net_weights = {});
+
+  std::size_t num_nodes() const { return node_nets_.size(); }
+  std::size_t num_nets() const { return nets_.size(); }
+
+  /// Total pin count (after duplicate-pin merging).
+  std::size_t num_pins() const { return num_pins_; }
+
+  const std::vector<NodeId>& net(NetId e) const { return nets_[e]; }
+  double net_weight(NetId e) const { return net_weights_[e]; }
+
+  /// Nets incident to vertex v.
+  const std::vector<NetId>& nets_of(NodeId v) const { return node_nets_[v]; }
+
+  /// Number of nets incident to vertex v.
+  std::size_t node_degree(NodeId v) const { return node_nets_[v].size(); }
+
+  /// Largest net size.
+  std::size_t max_net_size() const;
+
+  /// True when the hypergraph is connected (via shared nets).
+  bool connected() const;
+
+  /// Induced sub-hypergraph on `nodes` (distinct ids). Vertex i of the
+  /// result corresponds to nodes[i]; only net fragments with >= 2 pins
+  /// inside `nodes` survive. Used by recursive partitioners (RSB).
+  Hypergraph induced(const std::vector<NodeId>& nodes) const;
+
+  /// Strict variant: keeps only nets whose pins ALL lie inside `nodes`.
+  /// This is the right sub-problem for pairwise k-way refinement — a net
+  /// with pins in a third cluster is cut no matter how the pair's vertices
+  /// move, so it must not bias the local optimizer.
+  Hypergraph induced_strict(const std::vector<NodeId>& nodes) const;
+
+  /// Optional vertex names (from netlist files); empty if unnamed.
+  const std::vector<std::string>& node_names() const { return node_names_; }
+  void set_node_names(std::vector<std::string> names);
+
+ private:
+  std::vector<std::vector<NodeId>> nets_;
+  std::vector<double> net_weights_;
+  std::vector<std::vector<NetId>> node_nets_;
+  std::vector<std::string> node_names_;
+  std::size_t num_pins_ = 0;
+};
+
+/// Views a plain graph as a hypergraph of 2-pin nets (weights preserved).
+/// Lets graph-level users drive the netlist-oriented pipelines directly.
+Hypergraph to_hypergraph(const Graph& g);
+
+}  // namespace specpart::graph

@@ -1,0 +1,22 @@
+#include "graph/laplacian.h"
+
+namespace specpart::graph {
+
+linalg::SymCsrMatrix build_laplacian(const Graph& g) {
+  std::vector<linalg::Triplet> triplets;
+  triplets.reserve(g.num_edges() + g.num_nodes());
+  for (const Edge& e : g.edges())
+    triplets.push_back({e.u, e.v, -e.weight});
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    triplets.push_back({v, v, g.degree(v)});
+  return linalg::SymCsrMatrix(g.num_nodes(), triplets);
+}
+
+linalg::SymCsrMatrix build_adjacency(const Graph& g) {
+  std::vector<linalg::Triplet> triplets;
+  triplets.reserve(g.num_edges());
+  for (const Edge& e : g.edges()) triplets.push_back({e.u, e.v, e.weight});
+  return linalg::SymCsrMatrix(g.num_nodes(), triplets);
+}
+
+}  // namespace specpart::graph

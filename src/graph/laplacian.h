@@ -1,0 +1,20 @@
+// Laplacian and adjacency matrices of weighted graphs.
+//
+// The Laplacian Q = D - A is the central object of the paper: its
+// eigenvectors drive SB, RSB, KP, SFC and MELO, and trace(X^T Q X) equals
+// the (doubled) cut of the partition encoded by assignment matrix X
+// (Theorem 1).
+#pragma once
+
+#include "graph/graph.h"
+#include "linalg/sparse.h"
+
+namespace specpart::graph {
+
+/// Builds the Laplacian Q = D - A as a symmetric sparse matrix.
+linalg::SymCsrMatrix build_laplacian(const Graph& g);
+
+/// Builds the weighted adjacency matrix A.
+linalg::SymCsrMatrix build_adjacency(const Graph& g);
+
+}  // namespace specpart::graph

@@ -1,0 +1,190 @@
+#include "graph/netlist_io.h"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/stringutil.h"
+
+namespace specpart::graph {
+
+namespace {
+
+/// Reads the next non-empty, non-comment line; returns false at EOF.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const std::string_view t = trim(line);
+    if (t.empty() || t.front() == '%' || t.front() == '#') continue;
+    line = std::string(t);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Hypergraph read_hgr(std::istream& in) {
+  std::string line;
+  SP_CHECK_INPUT(next_content_line(in, line), ".hgr: missing header line");
+  const auto header = split_ws(line);
+  SP_CHECK_INPUT(header.size() >= 2 && header.size() <= 3,
+                 ".hgr: header must be '<#nets> <#vertices> [fmt]'");
+  const std::size_t num_nets = parse_size(header[0], ".hgr #nets");
+  const std::size_t num_nodes = parse_size(header[1], ".hgr #vertices");
+  std::size_t fmt = header.size() == 3 ? parse_size(header[2], ".hgr fmt") : 0;
+  SP_CHECK_INPUT(fmt == 0 || fmt == 1 || fmt == 10 || fmt == 11,
+                 ".hgr: fmt must be one of 0, 1, 10, 11");
+  const bool has_net_weights = fmt == 1 || fmt == 11;
+  const bool has_node_weights = fmt == 10 || fmt == 11;
+
+  std::vector<std::vector<NodeId>> nets(num_nets);
+  std::vector<double> weights(num_nets, 1.0);
+  for (std::size_t e = 0; e < num_nets; ++e) {
+    SP_CHECK_INPUT(next_content_line(in, line),
+                   ".hgr: fewer net lines than the header promises");
+    const auto tokens = split_ws(line);
+    std::size_t first_pin = 0;
+    if (has_net_weights) {
+      SP_CHECK_INPUT(!tokens.empty(), ".hgr: weighted net line is empty");
+      weights[e] = parse_double(tokens[0], ".hgr net weight");
+      first_pin = 1;
+    }
+    SP_CHECK_INPUT(tokens.size() > first_pin, ".hgr: net with no pins");
+    for (std::size_t i = first_pin; i < tokens.size(); ++i) {
+      const std::size_t v = parse_size(tokens[i], ".hgr pin");
+      SP_CHECK_INPUT(v >= 1 && v <= num_nodes,
+                     ".hgr: pin id out of range (ids are 1-based)");
+      nets[e].push_back(static_cast<NodeId>(v - 1));
+    }
+  }
+  if (has_node_weights) {
+    // Vertex weights are parsed for format fidelity but the partitioners in
+    // this library treat modules as unit-size (as the paper does); a future
+    // weighted-module extension would store them on the Hypergraph.
+    for (std::size_t v = 0; v < num_nodes; ++v)
+      SP_CHECK_INPUT(next_content_line(in, line),
+                     ".hgr: missing vertex weight lines");
+  }
+  return Hypergraph(num_nodes, std::move(nets), std::move(weights));
+}
+
+Hypergraph read_hgr_file(const std::string& path) {
+  std::ifstream in(path);
+  SP_CHECK_INPUT(in.good(), "cannot open .hgr file: " + path);
+  return read_hgr(in);
+}
+
+void write_hgr(const Hypergraph& h, std::ostream& out) {
+  bool weighted = false;
+  for (NetId e = 0; e < h.num_nets(); ++e)
+    if (h.net_weight(e) != 1.0) weighted = true;
+  out << h.num_nets() << ' ' << h.num_nodes();
+  if (weighted) out << " 1";
+  out << '\n';
+  for (NetId e = 0; e < h.num_nets(); ++e) {
+    if (weighted) out << h.net_weight(e) << ' ';
+    const auto& pins = h.net(e);
+    for (std::size_t i = 0; i < pins.size(); ++i)
+      out << (pins[i] + 1) << (i + 1 == pins.size() ? '\n' : ' ');
+    if (pins.empty()) out << '\n';
+  }
+}
+
+void write_hgr_file(const Hypergraph& h, const std::string& path) {
+  std::ofstream out(path);
+  SP_CHECK_INPUT(out.good(), "cannot open output file: " + path);
+  write_hgr(h, out);
+}
+
+Hypergraph read_netd(std::istream& in) {
+  std::string line;
+  // Header: five integer lines (legacy fields: an unused 0, #pins, #nets,
+  // #modules, pad offset). Only #pins/#nets/#modules are used, for
+  // cross-checking the pin list.
+  std::size_t header[5] = {0, 0, 0, 0, 0};
+  for (auto& field : header) {
+    SP_CHECK_INPUT(next_content_line(in, line), ".netD: truncated header");
+    field = parse_size(split_ws(line).at(0), ".netD header");
+  }
+  const std::size_t declared_pins = header[1];
+  const std::size_t declared_nets = header[2];
+
+  std::map<std::string, NodeId> ids;
+  std::vector<std::string> names;
+  auto intern = [&](const std::string& name) -> NodeId {
+    auto [it, inserted] = ids.try_emplace(
+        name, static_cast<NodeId>(names.size()));
+    if (inserted) names.push_back(name);
+    return it->second;
+  };
+
+  std::vector<std::vector<NodeId>> nets;
+  std::size_t pins_seen = 0;
+  while (next_content_line(in, line)) {
+    const auto tokens = split_ws(line);
+    SP_CHECK_INPUT(tokens.size() >= 2,
+                   ".netD: pin line needs '<module> <s|l> [dir]'");
+    const NodeId v = intern(tokens[0]);
+    const std::string& kind = tokens[1];
+    SP_CHECK_INPUT(kind == "s" || kind == "l",
+                   ".netD: pin kind must be 's' or 'l', got '" + kind + "'");
+    if (kind == "s") nets.emplace_back();
+    SP_CHECK_INPUT(!nets.empty(), ".netD: pin list must start with an 's' pin");
+    nets.back().push_back(v);
+    ++pins_seen;
+  }
+  SP_CHECK_INPUT(declared_pins == 0 || pins_seen == declared_pins,
+                 ".netD: pin count does not match header");
+  SP_CHECK_INPUT(declared_nets == 0 || nets.size() == declared_nets,
+                 ".netD: net count does not match header");
+  Hypergraph h(names.size(), std::move(nets));
+  h.set_node_names(std::move(names));
+  return h;
+}
+
+Hypergraph read_netd_file(const std::string& path) {
+  std::ifstream in(path);
+  SP_CHECK_INPUT(in.good(), "cannot open .netD file: " + path);
+  return read_netd(in);
+}
+
+void write_netd(const Hypergraph& h, std::ostream& out) {
+  out << 0 << '\n'
+      << h.num_pins() << '\n'
+      << h.num_nets() << '\n'
+      << h.num_nodes() << '\n'
+      << 0 << '\n';
+  const auto& names = h.node_names();
+  auto name_of = [&](NodeId v) {
+    return names.empty() ? "a" + std::to_string(v) : names[v];
+  };
+  for (NetId e = 0; e < h.num_nets(); ++e) {
+    const auto& pins = h.net(e);
+    SP_REQUIRE(!pins.empty(), ".netD writer: empty net");
+    for (std::size_t i = 0; i < pins.size(); ++i)
+      out << name_of(pins[i]) << (i == 0 ? " s I" : " l O") << '\n';
+  }
+}
+
+void write_netd_file(const Hypergraph& h, const std::string& path) {
+  std::ofstream out(path);
+  SP_CHECK_INPUT(out.good(), "cannot open output file: " + path);
+  write_netd(h, out);
+}
+
+void write_partition(const std::vector<std::uint32_t>& assignment,
+                     std::ostream& out) {
+  for (std::uint32_t c : assignment) out << c << '\n';
+}
+
+void write_partition_file(const std::vector<std::uint32_t>& assignment,
+                          const std::string& path) {
+  std::ofstream out(path);
+  SP_CHECK_INPUT(out.good(), "cannot open output file: " + path);
+  write_partition(assignment, out);
+}
+
+}  // namespace specpart::graph

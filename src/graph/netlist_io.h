@@ -1,0 +1,49 @@
+// Netlist file I/O.
+//
+// The paper's experiments run on the ACM/SIGDA benchmark netlists. Those
+// files are no longer distributable, so the default experiment suite is
+// synthetic (generator.h) — but these parsers let real benchmarks drop in:
+//
+//  * hMETIS `.hgr` — the de-facto standard hypergraph exchange format.
+//    First line: "<#nets> <#vertices> [fmt]"; one net per line of 1-based
+//    vertex ids; fmt 1 / 10 / 11 toggle net / vertex weights.
+//  * ACM/SIGDA `.netD`/`.net` — the original benchmark pin-list format.
+//    Header: five lines (ignored pad offset etc.); then one line per pin:
+//    "<module> <s|l|...> <I|O|B>" where 's' opens a new net. Module names
+//    `a<k>` are cells and `p<k>` are pads; both become vertices.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/hypergraph.h"
+
+namespace specpart::graph {
+
+/// Parses hMETIS .hgr text. Throws specpart::Error on malformed input.
+Hypergraph read_hgr(std::istream& in);
+Hypergraph read_hgr_file(const std::string& path);
+
+/// Serializes to hMETIS .hgr (with net weights iff any differ from 1).
+void write_hgr(const Hypergraph& h, std::ostream& out);
+void write_hgr_file(const Hypergraph& h, const std::string& path);
+
+/// Parses ACM/SIGDA .netD/.net pin-list text. Vertex names are preserved
+/// (query via Hypergraph::node_names()). Throws specpart::Error on
+/// malformed input.
+Hypergraph read_netd(std::istream& in);
+Hypergraph read_netd_file(const std::string& path);
+
+/// Serializes to ACM/SIGDA .netD pin-list form. Vertices without stored
+/// names are emitted as a<index>. Round-trips through read_netd.
+void write_netd(const Hypergraph& h, std::ostream& out);
+void write_netd_file(const Hypergraph& h, const std::string& path);
+
+/// Writes a partition as one cluster id per line (vertex order), the format
+/// understood by hMETIS/KaHyPar evaluation tools.
+void write_partition(const std::vector<std::uint32_t>& assignment,
+                     std::ostream& out);
+void write_partition_file(const std::vector<std::uint32_t>& assignment,
+                          const std::string& path);
+
+}  // namespace specpart::graph

@@ -1,0 +1,208 @@
+#include "linalg/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/tridiagonal.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace specpart::linalg {
+
+namespace {
+
+/// Makes `w` orthogonal to every vector in `basis` (two Gram-Schmidt
+/// sweeps: one is not enough once the basis grows).
+void reorthogonalize(const std::vector<Vec>& basis, Vec& w) {
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (const Vec& v : basis) {
+      const double c = dot(w, v);
+      if (c != 0.0) axpy(-c, v, w);
+    }
+  }
+}
+
+Vec random_unit_vector(std::size_t n, Rng& rng) {
+  Vec v(n);
+  for (double& x : v) x = rng.next_normal();
+  normalize(v);
+  return v;
+}
+
+}  // namespace
+
+LanczosResult lanczos_largest_op(
+    std::size_t n, const std::function<void(const Vec&, Vec&)>& apply,
+    double op_norm_estimate, LanczosOptions opts) {
+  LanczosResult result;
+  const std::size_t want = std::min(opts.num_eigenpairs, n);
+  if (want == 0 || n == 0) return result;
+
+  std::size_t max_iter = opts.max_iterations != 0
+                             ? opts.max_iterations
+                             : std::min(n, std::max<std::size_t>(
+                                               20 * want + 120, 200));
+  max_iter = std::min(max_iter, n);
+  max_iter = std::max(max_iter, want);
+
+  const double op_scale = std::max(op_norm_estimate, 1e-30);
+  const double breakdown_tol = 1e-13 * op_scale;
+
+  Rng rng(opts.seed);
+  std::vector<Vec> basis;  // Lanczos vectors v_0 .. v_{m-1}
+  basis.reserve(max_iter);
+  Vec alphas;  // T diagonal
+  Vec betas;   // betas[j] couples v_j and v_{j+1}
+  Vec v = random_unit_vector(n, rng);
+  Vec w(n);
+
+  Tridiagonal t_conv;                 // scratch for convergence checks
+  DenseMatrix z_conv;                 // eigenvectors of T
+  bool ritz_valid = false;
+
+  auto check_converged = [&]() -> bool {
+    const std::size_t m = basis.size();
+    if (m < want) return false;
+    t_conv.diag = alphas;
+    t_conv.off.assign(m, 0.0);
+    for (std::size_t i = 1; i < m; ++i) t_conv.off[i] = betas[i - 1];
+    z_conv = DenseMatrix::identity(m);
+    tridiagonal_eigen(t_conv, z_conv);
+    ritz_valid = true;
+    if (m == n) return true;  // exhausted the space: exact
+    const double beta_next = betas.size() >= m ? betas[m - 1] : 0.0;
+    for (std::size_t i = 0; i < want; ++i) {
+      const std::size_t col = m - 1 - i;  // largest eigenvalues are last
+      const double residual = std::fabs(beta_next * z_conv.at(m - 1, col));
+      if (residual > opts.tolerance * op_scale) return false;
+    }
+    return true;
+  };
+
+  // Selective-reorthogonalization state (Simon's omega recurrence):
+  // omega_cur[i] estimates |v_j . v_i|, omega_prev[i] the same for j-1.
+  const bool selective =
+      opts.reorthogonalization == Reorthogonalization::kSelective;
+  const double eps_unit = 2.2e-16;
+  const double omega_threshold = std::sqrt(eps_unit);
+  std::vector<double> omega_prev, omega_cur, omega_next;
+  bool force_reorth = false;  // sweep two consecutive iterations
+
+  bool converged = false;
+  for (std::size_t j = 0; j < max_iter; ++j) {
+    basis.push_back(v);
+    apply(basis.back(), w);
+    if (j > 0 && betas[j - 1] != 0.0) axpy(-betas[j - 1], basis[j - 1], w);
+    const double alpha = dot(w, basis[j]);
+    axpy(-alpha, basis[j], w);
+    if (!selective) reorthogonalize(basis, w);
+    alphas.push_back(alpha);
+
+    double beta = norm(w);
+    if (selective && beta > breakdown_tol) {
+      if (j == 0) omega_cur.assign(1, 1.0);
+      // Advance the omega recurrence: omega_next[i] ~ |v_{j+1} . v_i|.
+      // B(t) couples v_{t-1} and v_t; with our storage B(t) = betas[t-1].
+      omega_next.assign(j + 2, 0.0);
+      const double noise = eps_unit * (op_scale / beta) * 2.0;
+      for (std::size_t i = 0; i < j; ++i) {
+        double num = betas[i] * omega_cur[i + 1] +
+                     (alphas[i] - alphas[j]) * omega_cur[i];
+        if (i > 0) num += betas[i - 1] * omega_cur[i - 1];
+        if (j > 0 && i < omega_prev.size()) num -= betas[j - 1] * omega_prev[i];
+        omega_next[i] = num / beta + noise;
+      }
+      if (j >= 1)
+        omega_next[j] =
+            eps_unit * std::sqrt(static_cast<double>(n)) * (op_scale / beta);
+      omega_next[j + 1] = 1.0;
+
+      double worst = 0.0;
+      for (std::size_t i = 0; i <= j; ++i)
+        worst = std::max(worst, std::fabs(omega_next[i]));
+      const bool trigger = worst > omega_threshold;
+      if (trigger || force_reorth) {
+        reorthogonalize(basis, w);
+        beta = norm(w);
+        for (std::size_t i = 0; i <= j; ++i) omega_next[i] = eps_unit;
+        force_reorth = trigger;  // sweep once more after a fresh trigger
+      }
+      omega_prev = std::move(omega_cur);
+      omega_cur = std::move(omega_next);
+      omega_next.clear();
+    }
+    if (beta <= breakdown_tol) {
+      // Invariant subspace found. Restart with a fresh random direction
+      // orthogonal to the current basis (T gets a zero coupling, which the
+      // QL solver handles as a block split).
+      betas.push_back(0.0);
+      if (basis.size() >= n) {
+        converged = check_converged();
+        break;
+      }
+      Vec fresh = random_unit_vector(n, rng);
+      reorthogonalize(basis, fresh);
+      if (normalize(fresh) <= 1e-12) {
+        converged = check_converged();
+        break;
+      }
+      v = std::move(fresh);
+      if (selective) {
+        // The restart direction is explicitly orthogonalized.
+        omega_prev = omega_cur;
+        omega_cur.assign(j + 2, eps_unit);
+        omega_cur.back() = 1.0;
+      }
+    } else {
+      betas.push_back(beta);
+      scale(w, 1.0 / beta);
+      v = w;
+    }
+
+    const std::size_t m = basis.size();
+    const bool time_to_check =
+        m >= want + 2 && (m % 10 == 0 || m == max_iter || m == n);
+    if (time_to_check && check_converged()) {
+      converged = true;
+      break;
+    }
+  }
+  if (!converged) converged = check_converged();
+
+  const std::size_t m = basis.size();
+  SP_ASSERT(ritz_valid && m >= 1);
+  const std::size_t take = std::min(want, m);
+
+  result.values.resize(take);
+  result.vectors = DenseMatrix(n, take);
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t col = m - 1 - i;  // descending eigenvalues of B
+    result.values[i] = t_conv.diag[col];
+    Vec x(n, 0.0);
+    for (std::size_t k = 0; k < m; ++k)
+      axpy(z_conv.at(k, col), basis[k], x);
+    normalize(x);
+    result.vectors.set_col(i, x);
+  }
+  result.iterations = m;
+  result.converged = converged && take == want;
+  return result;
+}
+
+LanczosResult lanczos_smallest(const SymCsrMatrix& a, LanczosOptions opts) {
+  const std::size_t n = a.size();
+  // Shift so the smallest eigenvalues of A become the largest of
+  // B = sigma*I - A; sigma >= lambda_max(A) keeps B positive semidefinite.
+  const double sigma = a.gershgorin_upper() * (1.0 + 1e-12) + 1e-12;
+  auto apply = [&](const Vec& x, Vec& y) {
+    a.matvec(x, y);
+    for (std::size_t i = 0; i < n; ++i) y[i] = sigma * x[i] - y[i];
+  };
+  LanczosResult r = lanczos_largest_op(n, apply, sigma, opts);
+  // Convert eigenvalues of B back to eigenvalues of A. B's values are
+  // descending, so A's come out ascending — exactly what callers expect.
+  for (double& v : r.values) v = sigma - v;
+  return r;
+}
+
+}  // namespace specpart::linalg

@@ -1,0 +1,96 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace specpart::linalg {
+
+SymCsrMatrix::SymCsrMatrix(std::size_t n, const std::vector<Triplet>& triplets)
+    : n_(n), row_ptr_(n + 1, 0) {
+  // Expand: mirror off-diagonal entries so both triangles are stored.
+  std::vector<Triplet> full;
+  full.reserve(triplets.size() * 2);
+  for (const Triplet& t : triplets) {
+    SP_ASSERT(t.row < n && t.col < n);
+    full.push_back(t);
+    if (t.row != t.col) full.push_back({t.col, t.row, t.value});
+  }
+  std::sort(full.begin(), full.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  // Merge duplicates and fill CSR arrays.
+  col_idx_.reserve(full.size());
+  values_.reserve(full.size());
+  for (std::size_t i = 0; i < full.size();) {
+    std::size_t j = i;
+    double sum = 0.0;
+    while (j < full.size() && full[j].row == full[i].row &&
+           full[j].col == full[i].col) {
+      sum += full[j].value;
+      ++j;
+    }
+    col_idx_.push_back(full[i].col);
+    values_.push_back(sum);
+    ++row_ptr_[full[i].row + 1];
+    i = j;
+  }
+  for (std::size_t i = 0; i < n; ++i) row_ptr_[i + 1] += row_ptr_[i];
+}
+
+void SymCsrMatrix::matvec(const Vec& x, Vec& y) const {
+  SP_ASSERT(x.size() == n_);
+  y.assign(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double s = 0.0;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      s += values_[k] * x[col_idx_[k]];
+    y[i] = s;
+  }
+}
+
+Vec SymCsrMatrix::matvec(const Vec& x) const {
+  Vec y;
+  matvec(x, y);
+  return y;
+}
+
+double SymCsrMatrix::at(std::size_t i, std::size_t j) const {
+  SP_ASSERT(i < n_ && j < n_);
+  for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+    if (col_idx_[k] == j) return values_[k];
+  return 0.0;
+}
+
+double SymCsrMatrix::trace() const {
+  double t = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) t += at(i, i);
+  return t;
+}
+
+double SymCsrMatrix::gershgorin_upper() const {
+  double bound = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    double radius = 0.0;
+    double diag = 0.0;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      if (col_idx_[k] == i)
+        diag = values_[k];
+      else
+        radius += std::fabs(values_[k]);
+    }
+    bound = std::max(bound, diag + radius);
+  }
+  return bound;
+}
+
+DenseMatrix SymCsrMatrix::to_dense() const {
+  DenseMatrix m(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      m.at(i, col_idx_[k]) = values_[k];
+  return m;
+}
+
+}  // namespace specpart::linalg

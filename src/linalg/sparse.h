@@ -1,0 +1,69 @@
+// Symmetric sparse matrices in compressed-sparse-row form.
+//
+// Graph Laplacians of clique-expanded netlists are symmetric with a few
+// dozen nonzeros per row; CSR with both triangles stored gives the fastest
+// matvec, which dominates the Lanczos runtime.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense.h"
+
+namespace specpart::linalg {
+
+/// One (i, j, value) entry of a matrix under construction.
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+/// Symmetric sparse matrix, CSR storage of the *full* pattern.
+///
+/// Built from triplets; duplicates are summed. Symmetry is by construction:
+/// each off-diagonal triplet (i, j, v) inserts both (i,j) and (j,i).
+class SymCsrMatrix {
+ public:
+  SymCsrMatrix() = default;
+
+  /// Builds an n-by-n symmetric matrix. Off-diagonal triplets are mirrored;
+  /// diagonal triplets inserted once. Duplicate coordinates are summed.
+  SymCsrMatrix(std::size_t n, const std::vector<Triplet>& triplets);
+
+  std::size_t size() const { return n_; }
+
+  /// Number of stored nonzeros (both triangles).
+  std::size_t nnz() const { return values_.size(); }
+
+  /// y = A x.
+  void matvec(const Vec& x, Vec& y) const;
+  Vec matvec(const Vec& x) const;
+
+  /// Entry lookup (linear scan within the row; intended for tests).
+  double at(std::size_t i, std::size_t j) const;
+
+  /// Sum of diagonal entries.
+  double trace() const;
+
+  /// Gershgorin upper bound on the largest eigenvalue:
+  /// max_i (a_ii + sum_{j != i} |a_ij|).
+  double gershgorin_upper() const;
+
+  /// Dense copy (tests / small-n exact eigensolves).
+  DenseMatrix to_dense() const;
+
+  /// Row access for algorithms that iterate neighbours.
+  std::size_t row_begin(std::size_t i) const { return row_ptr_[i]; }
+  std::size_t row_end(std::size_t i) const { return row_ptr_[i + 1]; }
+  std::size_t col_index(std::size_t k) const { return col_idx_[k]; }
+  double value(std::size_t k) const { return values_[k]; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace specpart::linalg

@@ -1,0 +1,46 @@
+#include "linalg/symmetric_eigen.h"
+
+#include <algorithm>
+
+#include "linalg/tridiagonal.h"
+#include "util/error.h"
+
+namespace specpart::linalg {
+
+EigenDecomposition solve_symmetric_eigen(DenseMatrix a) {
+  const std::size_t n = a.rows();
+  SP_ASSERT(a.cols() == n);
+  if (n == 0) return {Vec{}, DenseMatrix{}};
+  // Symmetrize defensively.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (a.at(i, j) + a.at(j, i));
+      a.at(i, j) = avg;
+      a.at(j, i) = avg;
+    }
+  if (n == 1) {
+    DenseMatrix v(1, 1);
+    v.at(0, 0) = 1.0;
+    return {Vec{a.at(0, 0)}, std::move(v)};
+  }
+  DenseMatrix q;
+  Tridiagonal t = householder_tridiagonalize(std::move(a), &q);
+  tridiagonal_eigen(t, q);
+  return {std::move(t.diag), std::move(q)};
+}
+
+EigenDecomposition solve_symmetric_eigen_smallest(DenseMatrix a,
+                                                  std::size_t count) {
+  EigenDecomposition full = solve_symmetric_eigen(std::move(a));
+  const std::size_t n = full.values.size();
+  count = std::min(count, n);
+  EigenDecomposition out;
+  out.values.assign(full.values.begin(),
+                    full.values.begin() + static_cast<std::ptrdiff_t>(count));
+  out.vectors = DenseMatrix(n, count);
+  for (std::size_t j = 0; j < count; ++j)
+    out.vectors.set_col(j, full.vectors.col(j));
+  return out;
+}
+
+}  // namespace specpart::linalg

@@ -1,0 +1,30 @@
+// Exact dense symmetric eigendecomposition (Householder + QL).
+//
+// O(n^3); used for small graphs, as the Lanczos validation oracle, and for
+// the "all n eigenvectors" exactness experiments where the reduction from
+// graph partitioning to vector partitioning is an identity.
+#pragma once
+
+#include "linalg/dense.h"
+
+namespace specpart::linalg {
+
+/// Result of a symmetric eigendecomposition: A = V diag(values) V^T.
+/// `values` ascending; column j of `vectors` is the unit eigenvector of
+/// values[j].
+struct EigenDecomposition {
+  Vec values;
+  DenseMatrix vectors;
+};
+
+/// Full eigendecomposition of a symmetric matrix. The strictly lower
+/// triangle is taken as authoritative (the matrix is symmetrized first so
+/// tiny asymmetries from floating-point assembly cannot perturb results).
+EigenDecomposition solve_symmetric_eigen(DenseMatrix a);
+
+/// First `count` eigenpairs (smallest eigenvalues) of a symmetric matrix;
+/// simply truncates the full decomposition.
+EigenDecomposition solve_symmetric_eigen_smallest(DenseMatrix a,
+                                                  std::size_t count);
+
+}  // namespace specpart::linalg

@@ -1,0 +1,40 @@
+// Symmetric tridiagonal eigensolver (implicit-shift QL) and Householder
+// reduction of dense symmetric matrices to tridiagonal form.
+//
+// These are ports of the classic EISPACK tred2/tql2 algorithms; together
+// they provide an exact O(n^3) symmetric eigensolver used (a) directly for
+// small graphs and test oracles, and (b) inside Lanczos to diagonalize the
+// projected tridiagonal matrix.
+#pragma once
+
+#include "linalg/dense.h"
+
+namespace specpart::linalg {
+
+/// Symmetric tridiagonal matrix: diag has size n, off has size n with
+/// off[0] unused (off[i] couples rows i-1 and i, following EISPACK layout).
+struct Tridiagonal {
+  Vec diag;
+  Vec off;
+};
+
+/// Reduces symmetric A (n-by-n) to tridiagonal form T = Q^T A Q.
+/// On return `accumulated` holds Q (orthogonal, columns are the transform).
+/// A is passed by value and consumed as workspace.
+Tridiagonal householder_tridiagonalize(DenseMatrix a, DenseMatrix* accumulated);
+
+/// Diagonalizes a symmetric tridiagonal matrix in place using the QL
+/// algorithm with implicit shifts.
+///
+/// On entry `z` must be either the identity (eigenvectors of T itself) or
+/// the orthogonal matrix accumulated by householder_tridiagonalize
+/// (eigenvectors of the original dense matrix). On return t.diag holds the
+/// eigenvalues sorted ascending and the columns of z the matching
+/// orthonormal eigenvectors. Throws specpart::Error if QL fails to converge
+/// (pathological input; does not occur for finite well-scaled matrices).
+void tridiagonal_eigen(Tridiagonal& t, DenseMatrix& z);
+
+/// Convenience: eigenvalues only (ascending) of a symmetric tridiagonal.
+Vec tridiagonal_eigenvalues(Tridiagonal t);
+
+}  // namespace specpart::linalg

@@ -1,0 +1,53 @@
+#include "model/clique_models.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace specpart::model {
+
+const char* net_model_name(NetModel m) {
+  switch (m) {
+    case NetModel::kStandard:
+      return "standard";
+    case NetModel::kPartitioningSpecific:
+      return "partitioning-specific";
+    case NetModel::kFrankle:
+      return "frankle";
+  }
+  return "?";
+}
+
+double clique_edge_cost(NetModel m, std::size_t size) {
+  SP_ASSERT(size >= 2);
+  const double s = static_cast<double>(size);
+  switch (m) {
+    case NetModel::kStandard:
+      return 1.0 / (s - 1.0);
+    case NetModel::kPartitioningSpecific:
+      // Conditioned on a uniformly random bipartition cutting the net, the
+      // expected number of cut clique edges is s(s-1)/4 / (1 - 2^{1-s});
+      // this cost makes that expectation exactly 1.
+      return 4.0 * (1.0 - std::exp2(1.0 - s)) / (s * (s - 1.0));
+    case NetModel::kFrankle:
+      return std::pow(2.0 / s, 1.5);
+  }
+  return 0.0;
+}
+
+graph::Graph clique_expand(const graph::Hypergraph& h, NetModel m,
+                           std::size_t max_net_size) {
+  std::vector<graph::Edge> edges;
+  for (graph::NetId e = 0; e < h.num_nets(); ++e) {
+    const auto& pins = h.net(e);
+    if (pins.size() < 2) continue;
+    if (max_net_size > 0 && pins.size() > max_net_size) continue;
+    const double cost = h.net_weight(e) * clique_edge_cost(m, pins.size());
+    for (std::size_t i = 0; i < pins.size(); ++i)
+      for (std::size_t j = i + 1; j < pins.size(); ++j)
+        edges.push_back({pins[i], pins[j], cost});
+  }
+  return graph::Graph(h.num_nodes(), edges);
+}
+
+}  // namespace specpart::model

@@ -1,0 +1,40 @@
+// Hyperedge-to-clique net models.
+//
+// Spectral methods need a graph, but circuits are hypergraphs. The classic
+// fix replaces each net e by a clique over its pins with a per-edge cost
+// c(|e|). No cost function is "perfect" (Ihler et al. [31]); the paper uses
+// three (section 2) and finds the partitioning-specific model best for
+// multi-way spectral partitioning:
+//
+//  * standard:               c(s) = 1 / (s - 1)
+//  * partitioning-specific:  c(s) = 4 (1 - 2^{1-s}) / (s (s - 1))
+//      — normalizes the *expected* cost of a randomly bipartitioned net,
+//        conditioned on the net being cut, to 1   [reconstructed, DESIGN.md]
+//  * Frankle:                c(s) = (2 / s)^{3/2}
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+
+namespace specpart::model {
+
+/// The three clique-edge cost functions from the paper.
+enum class NetModel {
+  kStandard,
+  kPartitioningSpecific,
+  kFrankle,
+};
+
+const char* net_model_name(NetModel m);
+
+/// Per-clique-edge cost of a net with `size` distinct pins (size >= 2).
+double clique_edge_cost(NetModel m, std::size_t size);
+
+/// Expands every net of >= 2 pins into a weighted clique and returns the
+/// resulting graph (parallel edges from different nets merge by weight).
+/// Nets larger than `max_net_size` are skipped when max_net_size > 0 — the
+/// paper notes [10] removed >99-pin nets; default keeps everything.
+graph::Graph clique_expand(const graph::Hypergraph& h, NetModel m,
+                           std::size_t max_net_size = 0);
+
+}  // namespace specpart::model

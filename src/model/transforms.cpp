@@ -1,0 +1,37 @@
+#include "model/transforms.h"
+
+#include <cstdint>
+#include <map>
+
+namespace specpart::model {
+
+graph::Graph star_expand(const graph::Hypergraph& h, double w,
+                         std::vector<std::uint32_t>* dummy_of) {
+  std::vector<graph::Edge> edges;
+  std::uint32_t next = static_cast<std::uint32_t>(h.num_nodes());
+  if (dummy_of) dummy_of->assign(h.num_nets(), UINT32_MAX);
+  for (graph::NetId e = 0; e < h.num_nets(); ++e) {
+    const auto& pins = h.net(e);
+    if (pins.size() < 2) continue;
+    const std::uint32_t dummy = next++;
+    if (dummy_of) (*dummy_of)[e] = dummy;
+    for (graph::NodeId v : pins)
+      edges.push_back({v, dummy, w * h.net_weight(e)});
+  }
+  return graph::Graph(next, edges);
+}
+
+graph::Graph dual_graph(const graph::Hypergraph& h) {
+  // For every module, connect all pairs of its incident nets; merging in
+  // Graph's constructor accumulates the shared-module counts.
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId v = 0; v < h.num_nodes(); ++v) {
+    const auto& nets = h.nets_of(v);
+    for (std::size_t i = 0; i < nets.size(); ++i)
+      for (std::size_t j = i + 1; j < nets.size(); ++j)
+        edges.push_back({nets[i], nets[j], 1.0});
+  }
+  return graph::Graph(h.num_nets(), edges);
+}
+
+}  // namespace specpart::model

@@ -1,0 +1,24 @@
+// Alternative hypergraph-to-graph transformations surveyed in section 2 of
+// the paper (and in [4]): the star model (a dummy vertex per net) and the
+// dual/intersection model (a vertex per net). Provided for completeness and
+// ablation; the experiments use the clique models.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+
+namespace specpart::model {
+
+/// Star expansion [30]: adds one dummy vertex per net of >= 2 pins and an
+/// edge (pin, dummy) of weight `w` times the net weight. The first
+/// h.num_nodes() vertices of the result are the original modules; dummies
+/// follow in net order. `dummy_of` (optional) receives, for each net, the
+/// dummy vertex id or UINT32_MAX for skipped single-pin nets.
+graph::Graph star_expand(const graph::Hypergraph& h, double w = 1.0,
+                         std::vector<std::uint32_t>* dummy_of = nullptr);
+
+/// Dual (intersection) model [34]: one vertex per net; two nets are joined
+/// by an edge weighted by the number of modules they share.
+graph::Graph dual_graph(const graph::Hypergraph& h);
+
+}  // namespace specpart::model

@@ -1,0 +1,113 @@
+#include "opt/mincostflow.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/error.h"
+
+namespace specpart::opt {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+}  // namespace
+
+MinCostFlow::MinCostFlow(std::size_t num_nodes) : arcs_(num_nodes) {}
+
+std::size_t MinCostFlow::add_arc(std::uint32_t from, std::uint32_t to,
+                                 double capacity, double cost) {
+  SP_ASSERT(from < arcs_.size() && to < arcs_.size());
+  SP_REQUIRE(capacity >= 0.0, "arc capacity must be non-negative");
+  SP_REQUIRE(!solved_, "add_arc after solve");
+  const auto fwd = static_cast<std::uint32_t>(arcs_[from].size());
+  const auto rev = static_cast<std::uint32_t>(arcs_[to].size()) +
+                   (from == to ? 1u : 0u);
+  arcs_[from].push_back({to, rev, capacity, cost});
+  arcs_[to].push_back({from, fwd, 0.0, -cost});
+  arc_handles_.emplace_back(from, fwd);
+  original_capacity_.push_back(capacity);
+  return arc_handles_.size() - 1;
+}
+
+MinCostFlow::Result MinCostFlow::solve(std::uint32_t source,
+                                       std::uint32_t sink) {
+  SP_ASSERT(source < arcs_.size() && sink < arcs_.size());
+  SP_REQUIRE(!solved_, "solve may only be called once");
+  solved_ = true;
+  const std::size_t n = arcs_.size();
+
+  // Initial potentials via Bellman-Ford (handles negative arc costs).
+  std::vector<double> potential(n, 0.0);
+  for (std::size_t round = 0; round + 1 < n; ++round) {
+    bool changed = false;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (potential[u] == kInf) continue;
+      for (const Arc& a : arcs_[u]) {
+        if (a.capacity <= kEps) continue;
+        const double candidate = potential[u] + a.cost;
+        if (candidate < potential[a.to] - kEps) {
+          potential[a.to] = candidate;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  Result result;
+  std::vector<double> dist(n);
+  std::vector<std::uint32_t> prev_node(n), prev_arc(n);
+  for (;;) {
+    // Dijkstra on reduced costs.
+    dist.assign(n, kInf);
+    dist[source] = 0.0;
+    using Item = std::pair<double, std::uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    heap.push({0.0, source});
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u] + kEps) continue;
+      for (std::uint32_t slot = 0; slot < arcs_[u].size(); ++slot) {
+        const Arc& a = arcs_[u][slot];
+        if (a.capacity <= kEps) continue;
+        // Potentials keep reduced costs non-negative for nodes that stayed
+        // reachable; clamp guards nodes whose potential went stale after
+        // they became unreachable mid-run.
+        const double reduced = a.cost + potential[u] - potential[a.to];
+        const double candidate = dist[u] + std::max(0.0, reduced);
+        if (candidate < dist[a.to] - kEps) {
+          dist[a.to] = candidate;
+          prev_node[a.to] = u;
+          prev_arc[a.to] = slot;
+          heap.push({candidate, a.to});
+        }
+      }
+    }
+    if (dist[sink] == kInf) break;
+
+    for (std::uint32_t u = 0; u < n; ++u)
+      if (dist[u] < kInf) potential[u] += dist[u];
+
+    // Bottleneck along the path.
+    double push = kInf;
+    for (std::uint32_t v = sink; v != source; v = prev_node[v])
+      push = std::min(push, arcs_[prev_node[v]][prev_arc[v]].capacity);
+    for (std::uint32_t v = sink; v != source; v = prev_node[v]) {
+      Arc& a = arcs_[prev_node[v]][prev_arc[v]];
+      a.capacity -= push;
+      arcs_[a.to][a.reverse].capacity += push;
+      result.cost += push * a.cost;
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+double MinCostFlow::flow_on(std::size_t arc_id) const {
+  SP_ASSERT(arc_id < arc_handles_.size());
+  const auto [node, slot] = arc_handles_[arc_id];
+  return original_capacity_[arc_id] - arcs_[node][slot].capacity;
+}
+
+}  // namespace specpart::opt

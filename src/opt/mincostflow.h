@@ -1,0 +1,52 @@
+// Minimum-cost maximum-flow, the optimization substrate behind Barnes'
+// transportation formulation of spectral k-way partitioning [7] (and any
+// other assignment-shaped subproblem).
+//
+// Successive shortest augmenting paths with Johnson potentials: Bellman-
+// Ford once to absorb negative arc costs, then Dijkstra per augmentation.
+// Integral capacities give integral optimal flows — exactly what the
+// transportation relaxation needs to round to a partition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace specpart::opt {
+
+/// Min-cost max-flow solver on a directed graph with per-arc capacity and
+/// cost. Nodes are dense 0-based ids.
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(std::size_t num_nodes);
+
+  /// Adds a directed arc; returns its id (for flow_on()). Costs may be
+  /// negative; capacities must be non-negative.
+  std::size_t add_arc(std::uint32_t from, std::uint32_t to, double capacity,
+                      double cost);
+
+  struct Result {
+    double flow = 0.0;
+    double cost = 0.0;
+  };
+
+  /// Sends as much flow as possible from `source` to `sink` at minimum
+  /// total cost. May be called once per instance.
+  Result solve(std::uint32_t source, std::uint32_t sink);
+
+  /// Flow routed on the arc returned by add_arc.
+  double flow_on(std::size_t arc_id) const;
+
+ private:
+  struct Arc {
+    std::uint32_t to;
+    std::uint32_t reverse;  // index of the reverse arc in arcs_[to]
+    double capacity;
+    double cost;
+  };
+  std::vector<std::vector<Arc>> arcs_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> arc_handles_;
+  std::vector<double> original_capacity_;
+  bool solved_ = false;
+};
+
+}  // namespace specpart::opt

@@ -1,0 +1,242 @@
+#include "part/fm.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "part/objectives.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace specpart::part {
+
+namespace {
+
+/// One lazily-invalidated heap entry: (gain, tie-break, vertex, stamp).
+struct HeapEntry {
+  double gain;
+  std::uint64_t tiebreak;
+  graph::NodeId vertex;
+  std::uint32_t stamp;
+  bool operator<(const HeapEntry& other) const {
+    if (gain != other.gain) return gain < other.gain;
+    return tiebreak < other.tiebreak;
+  }
+};
+
+/// State of one FM pass over a bipartition.
+class FmPass {
+ public:
+  FmPass(const graph::Hypergraph& h, Partition& p,
+         const BalanceConstraint& balance,
+         const std::vector<double>& vertex_weights, Rng& rng)
+      : h_(h), p_(p), rng_(rng) {
+    const std::size_t n = h.num_nodes();
+    weights_.assign(n, 1.0);
+    if (!vertex_weights.empty()) {
+      SP_REQUIRE(vertex_weights.size() == n,
+                 "FM: vertex weight count mismatch");
+      weights_ = vertex_weights;
+    }
+    double total = 0.0;
+    for (double w : weights_) total += w;
+    side_weight_[0] = side_weight_[1] = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v)
+      side_weight_[p.cluster_of(v)] += weights_[v];
+    lower_weight_ = balance.min_fraction * total - 1e-9;
+    upper_weight_ = balance.max_fraction * total + 1e-9;
+    locked_.assign(n, 0);
+    stamp_.assign(n, 0);
+    gain_.assign(n, 0.0);
+    pins_[0].assign(h.num_nets(), 0);
+    pins_[1].assign(h.num_nets(), 0);
+    for (graph::NetId e = 0; e < h.num_nets(); ++e)
+      for (graph::NodeId v : h.net(e)) ++pins_[p.cluster_of(v)][e];
+    for (graph::NodeId v = 0; v < n; ++v) {
+      gain_[v] = initial_gain(v);
+      push(v);
+    }
+  }
+
+  /// Runs the pass; returns the total cut improvement kept (>= 0).
+  double run() {
+    double cumulative = 0.0;
+    double best = 0.0;
+    std::size_t best_prefix = 0;
+    std::vector<graph::NodeId> moves;
+    std::vector<HeapEntry> deferred;
+
+    for (;;) {
+      // Find the best feasible, unlocked, up-to-date vertex.
+      bool found = false;
+      graph::NodeId chosen = 0;
+      deferred.clear();
+      while (!heap_.empty()) {
+        HeapEntry top = heap_.top();
+        heap_.pop();
+        if (locked_[top.vertex] || top.stamp != stamp_[top.vertex]) continue;
+        if (!move_feasible(top.vertex)) {
+          deferred.push_back(top);
+          continue;
+        }
+        chosen = top.vertex;
+        found = true;
+        break;
+      }
+      for (const HeapEntry& e : deferred) heap_.push(e);
+      if (!found) break;
+
+      cumulative += gain_[chosen];
+      apply_move(chosen);
+      locked_[chosen] = 1;
+      moves.push_back(chosen);
+      if (cumulative > best + 1e-12) {
+        best = cumulative;
+        best_prefix = moves.size();
+      }
+    }
+
+    // Rewind moves past the best prefix.
+    for (std::size_t i = moves.size(); i > best_prefix; --i) {
+      const graph::NodeId v = moves[i - 1];
+      const std::uint32_t from = p_.cluster_of(v);
+      side_weight_[from] -= weights_[v];
+      side_weight_[1 - from] += weights_[v];
+      p_.assign(v, 1 - from);
+    }
+    return best;
+  }
+
+ private:
+  double initial_gain(graph::NodeId v) const {
+    const std::uint32_t s = p_.cluster_of(v);
+    double g = 0.0;
+    for (graph::NetId e : h_.nets_of(v)) {
+      if (h_.net(e).size() < 2) continue;
+      const double w = h_.net_weight(e);
+      if (pins_[s][e] == 1) g += w;          // moving v uncuts the net
+      if (pins_[1 - s][e] == 0) g -= w;      // moving v cuts the net
+    }
+    return g;
+  }
+
+  bool move_feasible(graph::NodeId v) const {
+    const std::uint32_t s = p_.cluster_of(v);
+    return side_weight_[s] - weights_[v] >= lower_weight_ &&
+           side_weight_[1 - s] + weights_[v] <= upper_weight_;
+  }
+
+  void push(graph::NodeId v) {
+    heap_.push({gain_[v], rng_.next_u64(), v, stamp_[v]});
+  }
+
+  void bump(graph::NodeId v, double delta) {
+    gain_[v] += delta;
+    if (!locked_[v]) {
+      ++stamp_[v];
+      push(v);
+    }
+  }
+
+  void apply_move(graph::NodeId v) {
+    const std::uint32_t from = p_.cluster_of(v);
+    const std::uint32_t to = 1 - from;
+    for (graph::NetId e : h_.nets_of(v)) {
+      const auto& net = h_.net(e);
+      if (net.size() < 2) continue;
+      const double w = h_.net_weight(e);
+      // Before the move (Fiduccia–Mattheyses update rules).
+      if (pins_[to][e] == 0) {
+        for (graph::NodeId u : net)
+          if (u != v && !locked_[u]) bump(u, w);
+      } else if (pins_[to][e] == 1) {
+        for (graph::NodeId u : net)
+          if (u != v && !locked_[u] && p_.cluster_of(u) == to) bump(u, -w);
+      }
+      --pins_[from][e];
+      ++pins_[to][e];
+      // After the move.
+      if (pins_[from][e] == 0) {
+        for (graph::NodeId u : net)
+          if (u != v && !locked_[u]) bump(u, -w);
+      } else if (pins_[from][e] == 1) {
+        for (graph::NodeId u : net)
+          if (u != v && !locked_[u] && p_.cluster_of(u) == from) bump(u, w);
+      }
+    }
+    side_weight_[from] -= weights_[v];
+    side_weight_[to] += weights_[v];
+    p_.assign(v, to);
+  }
+
+  const graph::Hypergraph& h_;
+  Partition& p_;
+  Rng& rng_;
+  std::vector<double> weights_;
+  double side_weight_[2] = {0.0, 0.0};
+  double lower_weight_ = 0.0;
+  double upper_weight_ = 0.0;
+  std::vector<char> locked_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<double> gain_;
+  std::vector<std::uint32_t> pins_[2];
+  std::priority_queue<HeapEntry> heap_;
+};
+
+}  // namespace
+
+FmResult fm_refine(const graph::Hypergraph& h, const Partition& initial,
+                   const FmOptions& opts) {
+  SP_REQUIRE(initial.k() == 2, "FM refines bipartitions only");
+  SP_ASSERT(initial.num_nodes() == h.num_nodes());
+  Rng rng(opts.seed);
+  FmResult result;
+  result.partition = initial;
+  for (std::size_t pass = 0; pass < opts.max_passes; ++pass) {
+    FmPass engine(h, result.partition, opts.balance, opts.vertex_weights,
+                  rng);
+    const double improvement = engine.run();
+    ++result.passes;
+    if (improvement <= 1e-12) break;
+  }
+  result.cut = cut_nets(h, result.partition);
+  return result;
+}
+
+FmResult fm_bipartition(const graph::Hypergraph& h, const FmOptions& opts) {
+  const std::size_t n = h.num_nodes();
+  SP_CHECK_INPUT(n >= 2, "FM needs at least 2 vertices");
+  Rng rng(opts.seed);
+  FmResult best;
+  bool have_best = false;
+  for (std::size_t start = 0; start < std::max<std::size_t>(1, opts.num_starts);
+       ++start) {
+    // Random weight-balanced initial bipartition: shuffle, then greedily
+    // assign each vertex to the lighter side.
+    std::vector<graph::NodeId> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    rng.shuffle(order);
+    std::vector<std::uint32_t> assignment(n, 1);
+    double weight[2] = {0.0, 0.0};
+    for (graph::NodeId v : order) {
+      const double w = opts.vertex_weights.empty()
+                           ? 1.0
+                           : opts.vertex_weights[v];
+      const std::uint32_t side = weight[0] <= weight[1] ? 0 : 1;
+      assignment[v] = side;
+      weight[side] += w;
+    }
+    Partition init(std::move(assignment), 2);
+
+    FmOptions start_opts = opts;
+    start_opts.seed = opts.seed ^ (0x9E3779B97F4A7C15ULL * (start + 1));
+    FmResult r = fm_refine(h, init, start_opts);
+    if (!have_best || r.cut < best.cut) {
+      best = std::move(r);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace specpart::part

@@ -1,0 +1,47 @@
+// Fiduccia–Mattheyses bipartitioning.
+//
+// A classic move-based hypergraph bipartitioner: repeatedly move the
+// highest-gain unlocked vertex whose move keeps the balance feasible, lock
+// it, and at the end of the pass rewind to the best prefix. Multi-start FM
+// is this library's stand-in for PARABOLI in the Table 5 comparison (see
+// DESIGN.md §4) and a general-purpose refinement step.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/hypergraph.h"
+#include "part/partition.h"
+
+namespace specpart::part {
+
+struct FmOptions {
+  /// Cluster size bounds, as fractions of the total vertex weight.
+  BalanceConstraint balance{0.45, 0.55};
+  /// Maximum improvement passes per start (a pass with no gain stops early).
+  std::size_t max_passes = 16;
+  /// Independent random starts; the best result wins.
+  std::size_t num_starts = 8;
+  /// Seed for initial partitions and tie-breaking.
+  std::uint64_t seed = 0xFEEDFACEULL;
+  /// Optional per-vertex weights (empty = unit). Multilevel partitioning
+  /// passes the coarse-vertex weights here so balance is measured on the
+  /// original vertices.
+  std::vector<double> vertex_weights;
+};
+
+struct FmResult {
+  Partition partition;
+  double cut = 0.0;
+  std::size_t passes = 0;
+};
+
+/// Refines `initial` (must be a bipartition) with FM passes until no pass
+/// improves the cut. The balance of the result is at least as good as
+/// required by opts.balance provided `initial` already satisfies it.
+FmResult fm_refine(const graph::Hypergraph& h, const Partition& initial,
+                   const FmOptions& opts);
+
+/// Multi-start FM from random balanced initial bipartitions.
+FmResult fm_bipartition(const graph::Hypergraph& h, const FmOptions& opts);
+
+}  // namespace specpart::part

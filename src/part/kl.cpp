@@ -1,0 +1,153 @@
+#include "part/kl.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "part/objectives.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace specpart::part {
+
+namespace {
+
+/// One KL pass: tentative pair swaps with locking, then rewind to the best
+/// prefix. Returns the kept improvement.
+double kl_pass(const graph::Graph& g, Partition& p,
+               std::size_t candidate_window) {
+  const std::size_t n = g.num_nodes();
+  // D_v = external - internal connection weight.
+  std::vector<double> d(n, 0.0);
+  for (const graph::Edge& e : g.edges()) {
+    const bool cut = p.cluster_of(e.u) != p.cluster_of(e.v);
+    const double delta = cut ? e.weight : -e.weight;
+    d[e.u] += delta;
+    d[e.v] += delta;
+  }
+  // Direct edge-weight lookup for the pair correction term.
+  auto edge_weight = [&](graph::NodeId a, graph::NodeId b) {
+    for (std::size_t s = g.adjacency_begin(a); s < g.adjacency_end(a); ++s)
+      if (g.neighbour(s).node == b) return g.neighbour(s).weight;
+    return 0.0;
+  };
+
+  std::vector<char> locked(n, 0);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> swaps;
+  std::vector<double> gains;
+  const std::size_t max_swaps =
+      std::min(p.cluster_size(0), p.cluster_size(1));
+
+  for (std::size_t round = 0; round < max_swaps; ++round) {
+    // Top-D candidates on each side.
+    std::vector<graph::NodeId> side[2];
+    for (graph::NodeId v = 0; v < n; ++v)
+      if (!locked[v]) side[p.cluster_of(v)].push_back(v);
+    if (side[0].empty() || side[1].empty()) break;
+    const std::size_t window =
+        candidate_window == 0 ? n : candidate_window;
+    for (auto& list : side) {
+      std::sort(list.begin(), list.end(),
+                [&](graph::NodeId a, graph::NodeId b) {
+                  if (d[a] != d[b]) return d[a] > d[b];
+                  return a < b;
+                });
+      if (list.size() > window) list.resize(window);
+    }
+
+    graph::NodeId best_a = side[0][0], best_b = side[1][0];
+    double best_gain = -std::numeric_limits<double>::infinity();
+    for (graph::NodeId a : side[0]) {
+      for (graph::NodeId b : side[1]) {
+        const double gain = d[a] + d[b] - 2.0 * edge_weight(a, b);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+
+    // Tentatively swap and update D values of unlocked vertices.
+    locked[best_a] = 1;
+    locked[best_b] = 1;
+    const std::uint32_t ca = p.cluster_of(best_a);
+    p.assign(best_a, p.cluster_of(best_b));
+    p.assign(best_b, ca);
+    swaps.emplace_back(best_a, best_b);
+    gains.push_back(best_gain);
+    for (graph::NodeId moved : {best_a, best_b}) {
+      for (std::size_t s = g.adjacency_begin(moved);
+           s < g.adjacency_end(moved); ++s) {
+        const auto [u, w] = g.neighbour(s);
+        if (locked[u]) continue;
+        // Edge (moved, u) flipped its cut state for u's D value.
+        const bool now_cut = p.cluster_of(u) != p.cluster_of(moved);
+        d[u] += now_cut ? 2.0 * w : -2.0 * w;
+      }
+    }
+  }
+
+  // Best prefix of the tentative swap sequence.
+  double cumulative = 0.0, best = 0.0;
+  std::size_t best_prefix = 0;
+  for (std::size_t i = 0; i < gains.size(); ++i) {
+    cumulative += gains[i];
+    if (cumulative > best + 1e-12) {
+      best = cumulative;
+      best_prefix = i + 1;
+    }
+  }
+  for (std::size_t i = swaps.size(); i > best_prefix; --i) {
+    const auto [a, b] = swaps[i - 1];
+    const std::uint32_t ca = p.cluster_of(a);
+    p.assign(a, p.cluster_of(b));
+    p.assign(b, ca);
+  }
+  return best;
+}
+
+}  // namespace
+
+KlResult kl_refine(const graph::Graph& g, const Partition& initial,
+                   const KlOptions& opts) {
+  SP_REQUIRE(initial.k() == 2, "KL refines bipartitions only");
+  SP_ASSERT(initial.num_nodes() == g.num_nodes());
+  KlResult result;
+  result.partition = initial;
+  for (std::size_t pass = 0; pass < opts.max_passes; ++pass) {
+    const double improvement =
+        kl_pass(g, result.partition, opts.candidate_window);
+    ++result.passes;
+    if (improvement <= 1e-12) break;
+  }
+  result.cut = cut_weight(g, result.partition);
+  return result;
+}
+
+KlResult kl_bipartition(const graph::Graph& g, const KlOptions& opts) {
+  const std::size_t n = g.num_nodes();
+  SP_CHECK_INPUT(n >= 2, "KL needs at least 2 vertices");
+  Rng rng(opts.seed);
+  KlResult best;
+  bool have = false;
+  for (std::size_t start = 0;
+       start < std::max<std::size_t>(1, opts.num_starts); ++start) {
+    std::vector<graph::NodeId> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    rng.shuffle(order);
+    std::vector<std::uint32_t> assignment(n, 1);
+    for (std::size_t i = 0; i < n / 2; ++i) assignment[order[i]] = 0;
+    KlOptions start_opts = opts;
+    start_opts.seed = opts.seed + start + 1;
+    KlResult r = kl_refine(g, Partition(std::move(assignment), 2),
+                           start_opts);
+    if (!have || r.cut < best.cut) {
+      best = std::move(r);
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace specpart::part

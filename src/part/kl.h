@@ -1,0 +1,38 @@
+// Kernighan-Lin graph bipartitioning: the classic swap-based local search
+// (the ancestor of FM). Works directly on weighted graphs and maintains
+// exact balance by swapping pairs; provided both as a historical baseline
+// and as a refinement step for graph-level users.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "part/partition.h"
+
+namespace specpart::part {
+
+struct KlOptions {
+  /// Maximum improvement passes (a pass with no positive prefix stops).
+  std::size_t max_passes = 16;
+  /// Candidate pairs examined per swap: the top `candidate_window` D-values
+  /// on each side (the standard KL speedup; 0 = all pairs, exact).
+  std::size_t candidate_window = 8;
+  /// Independent random starts (best result wins).
+  std::size_t num_starts = 4;
+  std::uint64_t seed = 0x4B1ULL;
+};
+
+struct KlResult {
+  Partition partition;
+  double cut = 0.0;
+  std::size_t passes = 0;
+};
+
+/// Refines a bipartition by KL swap passes; cluster sizes never change.
+KlResult kl_refine(const graph::Graph& g, const Partition& initial,
+                   const KlOptions& opts);
+
+/// Multi-start KL from random exactly-half initial bipartitions.
+KlResult kl_bipartition(const graph::Graph& g, const KlOptions& opts);
+
+}  // namespace specpart::part

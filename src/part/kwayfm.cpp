@@ -1,0 +1,94 @@
+#include "part/kwayfm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "part/fm.h"
+#include "part/objectives.h"
+#include "util/error.h"
+
+namespace specpart::part {
+
+KWayFmResult kway_fm_refine(const graph::Hypergraph& h,
+                            const Partition& initial,
+                            const KWayFmOptions& opts) {
+  const std::size_t n = h.num_nodes();
+  const std::uint32_t k = initial.k();
+  SP_REQUIRE(initial.num_nodes() == n, "kway_fm: size mismatch");
+  SP_CHECK_INPUT(k >= 2, "kway_fm: need k >= 2");
+
+  std::size_t lo = opts.min_cluster_size;
+  std::size_t hi = opts.max_cluster_size;
+  if (lo == 0 && hi == 0) {
+    const double avg = static_cast<double>(n) / static_cast<double>(k);
+    lo = static_cast<std::size_t>(
+        std::floor((1.0 - opts.balance_fraction) * avg));
+    hi = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil((1.0 + opts.balance_fraction) * avg)));
+  }
+  if (hi == 0) hi = n;
+  lo = std::max<std::size_t>(1, lo);
+
+  KWayFmResult result;
+  result.partition = initial;
+  const double initial_cut = cut_nets(h, result.partition);
+  result.cut = initial_cut;
+
+  for (std::size_t round = 0; round < opts.max_rounds; ++round) {
+    bool any_improvement = false;
+    ++result.rounds;
+    for (std::uint32_t a = 0; a < k; ++a) {
+      for (std::uint32_t b = a + 1; b < k; ++b) {
+        // Sub-problem on the pair's vertices; nets touching other
+        // clusters are excluded (their cut status is fixed).
+        std::vector<graph::NodeId> nodes = result.partition.members(a);
+        const std::size_t size_a = nodes.size();
+        const std::vector<graph::NodeId> members_b =
+            result.partition.members(b);
+        nodes.insert(nodes.end(), members_b.begin(), members_b.end());
+        if (nodes.size() < 2) continue;
+        const graph::Hypergraph sub = h.induced_strict(nodes);
+        if (sub.num_nets() == 0) continue;
+
+        // Pair-local bounds: both sides must keep their global bounds.
+        const std::size_t total = nodes.size();
+        const std::size_t side_lo =
+            std::max(lo, total > hi ? total - hi : std::size_t{0});
+        const std::size_t side_hi = std::min(hi, total - lo);
+        if (side_lo > side_hi) continue;
+
+        std::vector<std::uint32_t> sub_assignment(total, 1);
+        for (std::size_t i = 0; i < size_a; ++i) sub_assignment[i] = 0;
+        const Partition sub_initial(std::move(sub_assignment), 2);
+        const double before = cut_nets(sub, sub_initial);
+
+        FmOptions fm;
+        fm.balance = {static_cast<double>(side_lo) /
+                          static_cast<double>(total),
+                      static_cast<double>(side_hi) /
+                          static_cast<double>(total)};
+        fm.max_passes = opts.fm_passes;
+        fm.seed = opts.seed ^ (a * 0x9E3779B97F4A7C15ULL + b);
+        const FmResult refined = fm_refine(sub, sub_initial, fm);
+        if (refined.cut >= before - 1e-12) continue;
+
+        any_improvement = true;
+        for (std::size_t i = 0; i < total; ++i) {
+          result.partition.assign(
+              nodes[i], refined.partition.cluster_of(
+                            static_cast<graph::NodeId>(i)) == 0
+                            ? a
+                            : b);
+        }
+      }
+    }
+    if (!any_improvement) break;
+  }
+
+  result.cut = cut_nets(h, result.partition);
+  result.improvement = initial_cut - result.cut;
+  return result;
+}
+
+}  // namespace specpart::part

@@ -1,0 +1,48 @@
+// K-way refinement by pairwise FM.
+//
+// Refines a k-way partition by running 2-way FM between every pair of
+// clusters on the strictly-induced sub-netlist (nets entirely inside the
+// pair — nets touching a third cluster are cut regardless of how the pair's
+// vertices move, so they are excluded from the local objective). The global
+// net cut never increases; rounds repeat until a full sweep yields no
+// improvement. This generalizes the Hadley et al. [26] post-processing the
+// paper cites to the multi-way setting.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/hypergraph.h"
+#include "part/partition.h"
+
+namespace specpart::part {
+
+struct KWayFmOptions {
+  /// Global per-cluster size bounds in vertices; 0 = derived from
+  /// balance_fraction around n/k.
+  std::size_t min_cluster_size = 0;
+  std::size_t max_cluster_size = 0;
+  /// Used only when the explicit bounds above are 0: cluster sizes may
+  /// range in [(1 - balance_fraction), (1 + balance_fraction)] * n/k.
+  double balance_fraction = 0.5;
+  /// Maximum pair-sweep rounds.
+  std::size_t max_rounds = 4;
+  /// FM passes per pair.
+  std::size_t fm_passes = 8;
+  std::uint64_t seed = 0x4FACE5ULL;
+};
+
+struct KWayFmResult {
+  Partition partition;
+  double cut = 0.0;
+  std::size_t rounds = 0;
+  /// Total cut improvement achieved.
+  double improvement = 0.0;
+};
+
+/// Refines `initial` (any k >= 2). Cluster sizes stay within the bounds
+/// provided the initial sizes already satisfy them.
+KWayFmResult kway_fm_refine(const graph::Hypergraph& h,
+                            const Partition& initial,
+                            const KWayFmOptions& opts);
+
+}  // namespace specpart::part

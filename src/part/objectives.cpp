@@ -1,0 +1,178 @@
+#include "part/objectives.h"
+
+#include <limits>
+#include <set>
+
+#include "util/error.h"
+
+namespace specpart::part {
+
+double cut_weight(const graph::Graph& g, const Partition& p) {
+  SP_ASSERT(p.num_nodes() == g.num_nodes());
+  double cut = 0.0;
+  for (const graph::Edge& e : g.edges())
+    if (p.cluster_of(e.u) != p.cluster_of(e.v)) cut += e.weight;
+  return cut;
+}
+
+double paper_f(const graph::Graph& g, const Partition& p) {
+  return 2.0 * cut_weight(g, p);
+}
+
+std::vector<double> cluster_degrees(const graph::Graph& g,
+                                    const Partition& p) {
+  SP_ASSERT(p.num_nodes() == g.num_nodes());
+  std::vector<double> degrees(p.k(), 0.0);
+  for (const graph::Edge& e : g.edges()) {
+    const std::uint32_t cu = p.cluster_of(e.u);
+    const std::uint32_t cv = p.cluster_of(e.v);
+    if (cu != cv) {
+      degrees[cu] += e.weight;
+      degrees[cv] += e.weight;
+    }
+  }
+  return degrees;
+}
+
+namespace {
+
+double scaled_cost_from_degrees(const std::vector<double>& degrees,
+                                const Partition& p) {
+  const std::size_t n = p.num_nodes();
+  const std::uint32_t k = p.k();
+  SP_REQUIRE(k >= 2, "scaled cost needs k >= 2");
+  double sum = 0.0;
+  for (std::uint32_t h = 0; h < k; ++h) {
+    if (p.cluster_size(h) == 0) {
+      // Empty clusters make Scaled Cost ill-defined (the paper divides by
+      // |C_h|); treat any k-way solution with an empty cluster as
+      // infeasible.
+      return std::numeric_limits<double>::infinity();
+    }
+    sum += degrees[h] / static_cast<double>(p.cluster_size(h));
+  }
+  return sum / (static_cast<double>(n) * static_cast<double>(k - 1));
+}
+
+double ratio_cut_from(double cut, const Partition& p) {
+  SP_REQUIRE(p.k() == 2, "ratio cut is a bipartitioning objective");
+  const double s0 = static_cast<double>(p.cluster_size(0));
+  const double s1 = static_cast<double>(p.cluster_size(1));
+  if (s0 == 0.0 || s1 == 0.0)
+    return std::numeric_limits<double>::infinity();
+  return cut / (s0 * s1);
+}
+
+}  // namespace
+
+double scaled_cost(const graph::Graph& g, const Partition& p) {
+  return scaled_cost_from_degrees(cluster_degrees(g, p), p);
+}
+
+double ratio_cut(const graph::Graph& g, const Partition& p) {
+  return ratio_cut_from(cut_weight(g, p), p);
+}
+
+double cut_nets(const graph::Hypergraph& h, const Partition& p) {
+  SP_ASSERT(p.num_nodes() == h.num_nodes());
+  double cut = 0.0;
+  for (graph::NetId e = 0; e < h.num_nets(); ++e) {
+    const auto& pins = h.net(e);
+    if (pins.size() < 2) continue;
+    const std::uint32_t first = p.cluster_of(pins[0]);
+    for (std::size_t i = 1; i < pins.size(); ++i) {
+      if (p.cluster_of(pins[i]) != first) {
+        cut += h.net_weight(e);
+        break;
+      }
+    }
+  }
+  return cut;
+}
+
+std::vector<double> cluster_degrees(const graph::Hypergraph& h,
+                                    const Partition& p) {
+  SP_ASSERT(p.num_nodes() == h.num_nodes());
+  std::vector<double> degrees(p.k(), 0.0);
+  std::set<std::uint32_t> touched;
+  for (graph::NetId e = 0; e < h.num_nets(); ++e) {
+    const auto& pins = h.net(e);
+    if (pins.size() < 2) continue;
+    touched.clear();
+    for (graph::NodeId v : pins) touched.insert(p.cluster_of(v));
+    if (touched.size() < 2) continue;
+    for (std::uint32_t c : touched) degrees[c] += h.net_weight(e);
+  }
+  return degrees;
+}
+
+double scaled_cost(const graph::Hypergraph& h, const Partition& p) {
+  return scaled_cost_from_degrees(cluster_degrees(h, p), p);
+}
+
+double ratio_cut(const graph::Hypergraph& h, const Partition& p) {
+  return ratio_cut_from(cut_nets(h, p), p);
+}
+
+namespace {
+
+/// Number of distinct clusters a net's pins span.
+std::size_t span_of(const graph::Hypergraph& h, const Partition& p,
+                    graph::NetId e, std::vector<char>& scratch,
+                    std::vector<std::uint32_t>& touched) {
+  touched.clear();
+  for (graph::NodeId v : h.net(e)) {
+    const std::uint32_t c = p.cluster_of(v);
+    if (!scratch[c]) {
+      scratch[c] = 1;
+      touched.push_back(c);
+    }
+  }
+  for (std::uint32_t c : touched) scratch[c] = 0;
+  return touched.size();
+}
+
+}  // namespace
+
+double sum_of_external_degrees(const graph::Hypergraph& h,
+                               const Partition& p) {
+  std::vector<char> scratch(p.k(), 0);
+  std::vector<std::uint32_t> touched;
+  double total = 0.0;
+  for (graph::NetId e = 0; e < h.num_nets(); ++e) {
+    if (h.net(e).size() < 2) continue;
+    const std::size_t span = span_of(h, p, e, scratch, touched);
+    if (span >= 2) total += h.net_weight(e) * static_cast<double>(span);
+  }
+  return total;
+}
+
+double k_minus_one_cost(const graph::Hypergraph& h, const Partition& p) {
+  std::vector<char> scratch(p.k(), 0);
+  std::vector<std::uint32_t> touched;
+  double total = 0.0;
+  for (graph::NetId e = 0; e < h.num_nets(); ++e) {
+    if (h.net(e).size() < 2) continue;
+    const std::size_t span = span_of(h, p, e, scratch, touched);
+    total += h.net_weight(e) * static_cast<double>(span - 1);
+  }
+  return total;
+}
+
+double absorption(const graph::Hypergraph& h, const Partition& p) {
+  std::vector<std::size_t> count(p.k(), 0);
+  double total = 0.0;
+  for (graph::NetId e = 0; e < h.num_nets(); ++e) {
+    const auto& pins = h.net(e);
+    if (pins.size() < 2) continue;
+    std::fill(count.begin(), count.end(), 0);
+    for (graph::NodeId v : pins) ++count[p.cluster_of(v)];
+    std::size_t majority = 0;
+    for (std::size_t c : count) majority = std::max(majority, c);
+    total += h.net_weight(e) * static_cast<double>(majority - 1) /
+             static_cast<double>(pins.size() - 1);
+  }
+  return total;
+}
+
+}  // namespace specpart::part

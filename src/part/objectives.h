@@ -1,0 +1,70 @@
+// Partitioning objectives.
+//
+// Conventions (matching the paper, section 2):
+//  * On a Graph, E_h = total weight of edges with exactly one endpoint in
+//    cluster h; the paper's f(P_k) = sum_h E_h counts each cut edge twice.
+//    cut_weight() below reports each edge ONCE (the value a designer cares
+//    about); f(P_k) = 2 * cut_weight().
+//  * On a Hypergraph, a net is cut when its pins span >= 2 clusters; E_h
+//    counts every cut net incident to cluster h (a 3-cluster net adds to
+//    three E_h's).
+//  * Ratio cut (k = 2):  cut / (|C_1| * |C_2|).
+//  * Scaled Cost [10]:   (1 / (n (k-1))) * sum_h E_h / |C_h|.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+#include "part/partition.h"
+
+namespace specpart::part {
+
+// --- Graph objectives -------------------------------------------------
+
+/// Total weight of cut edges, each counted once.
+double cut_weight(const graph::Graph& g, const Partition& p);
+
+/// The paper's f(P_k) = trace(X^T Q X) = 2 * cut_weight.
+double paper_f(const graph::Graph& g, const Partition& p);
+
+/// E_h for every cluster: weight of edges leaving cluster h.
+std::vector<double> cluster_degrees(const graph::Graph& g, const Partition& p);
+
+/// Scaled Cost on the graph.
+double scaled_cost(const graph::Graph& g, const Partition& p);
+
+/// Ratio cut for a bipartition (k must be 2; degenerate single-side
+/// partitions return +inf).
+double ratio_cut(const graph::Graph& g, const Partition& p);
+
+// --- Hypergraph objectives --------------------------------------------
+
+/// Total weight of cut nets (pins in >= 2 clusters), each counted once.
+double cut_nets(const graph::Hypergraph& h, const Partition& p);
+
+/// E_h for every cluster: weight of cut nets incident to cluster h.
+std::vector<double> cluster_degrees(const graph::Hypergraph& h,
+                                    const Partition& p);
+
+/// Scaled Cost on the hypergraph (the Table 4 metric).
+double scaled_cost(const graph::Hypergraph& h, const Partition& p);
+
+/// Ratio cut on the hypergraph for a bipartition.
+double ratio_cut(const graph::Hypergraph& h, const Partition& p);
+
+/// Sum of external degrees (SOED): every cut net contributes its weight
+/// once per cluster it touches (= sum of the hypergraph cluster degrees).
+/// A standard alternative VLSI metric; equals (spans) * weight summed.
+double sum_of_external_degrees(const graph::Hypergraph& h,
+                               const Partition& p);
+
+/// (K-1) metric: every net contributes (number of clusters it spans - 1)
+/// times its weight — the standard multi-way generalization of net cut
+/// (each extra spanned cluster costs one more "wire crossing").
+double k_minus_one_cost(const graph::Hypergraph& h, const Partition& p);
+
+/// Absorption [4]: sum over nets of w(e) * (pins_in_majority_cluster - 1)
+/// / (|e| - 1); 1.0 per net when fully absorbed by one cluster. Higher is
+/// better. Single-pin nets are skipped.
+double absorption(const graph::Hypergraph& h, const Partition& p);
+
+}  // namespace specpart::part

@@ -1,0 +1,93 @@
+#include "part/ordering.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace specpart::part {
+
+bool is_permutation(const Ordering& o, std::size_t n) {
+  if (o.size() != n) return false;
+  std::vector<char> seen(n, 0);
+  for (graph::NodeId v : o) {
+    if (v >= n || seen[v]) return false;
+    seen[v] = 1;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> positions_of(const Ordering& o) {
+  std::vector<std::uint32_t> pos(o.size());
+  for (std::uint32_t i = 0; i < o.size(); ++i) pos[o[i]] = i;
+  return pos;
+}
+
+std::vector<double> prefix_cuts(const graph::Hypergraph& h,
+                                const Ordering& o) {
+  const std::size_t n = h.num_nodes();
+  SP_REQUIRE(is_permutation(o, n), "prefix_cuts: ordering is not a permutation");
+  std::vector<double> cuts(n + 1, 0.0);
+  std::vector<std::uint32_t> left_pins(h.num_nets(), 0);
+  double cut = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const graph::NodeId v = o[i];
+    for (graph::NetId e : h.nets_of(v)) {
+      const std::size_t size = h.net(e).size();
+      if (size < 2) continue;
+      const std::uint32_t before = left_pins[e]++;
+      if (before == 0) cut += h.net_weight(e);            // net opens
+      if (before + 1 == size) cut -= h.net_weight(e);     // net closes
+    }
+    cuts[i + 1] = cut;
+  }
+  return cuts;
+}
+
+namespace {
+
+template <typename ObjectiveFn>
+SplitResult best_split(const graph::Hypergraph& h, const Ordering& o,
+                       double min_fraction, ObjectiveFn objective) {
+  const std::size_t n = h.num_nodes();
+  const std::vector<double> cuts = prefix_cuts(h, o);
+  const std::size_t min_side = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(min_fraction * static_cast<double>(n) - 1e-9)));
+  SplitResult best;
+  for (std::size_t i = min_side; i + min_side <= n && i < n; ++i) {
+    const double value = objective(cuts[i], i, n - i);
+    if (!best.feasible || value < best.objective) {
+      best.feasible = true;
+      best.split = i;
+      best.cut = cuts[i];
+      best.objective = value;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SplitResult best_ratio_cut_split(const graph::Hypergraph& h, const Ordering& o,
+                                 double min_fraction) {
+  return best_split(h, o, min_fraction,
+                    [](double cut, std::size_t a, std::size_t b) {
+                      return cut / (static_cast<double>(a) *
+                                    static_cast<double>(b));
+                    });
+}
+
+SplitResult best_min_cut_split(const graph::Hypergraph& h, const Ordering& o,
+                               double min_fraction) {
+  return best_split(h, o, min_fraction,
+                    [](double cut, std::size_t, std::size_t) { return cut; });
+}
+
+Partition split_to_partition(const Ordering& o, std::size_t split) {
+  SP_ASSERT(split <= o.size());
+  std::vector<std::uint32_t> assignment(o.size(), 1);
+  for (std::size_t i = 0; i < split; ++i) assignment[o[i]] = 0;
+  return Partition(std::move(assignment), 2);
+}
+
+}  // namespace specpart::part

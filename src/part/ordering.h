@@ -1,0 +1,59 @@
+// Linear vertex orderings and ordering -> bipartition splitting.
+//
+// "Construct an ordering, then split it" is the backbone of SB, RSB and
+// MELO. The sweep below evaluates every prefix split of an ordering in a
+// single O(n + pins) pass per objective, maintaining the net cut
+// incrementally as vertices cross from right to left.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/hypergraph.h"
+#include "part/partition.h"
+
+namespace specpart::part {
+
+/// A linear ordering: ordering[pos] = vertex at position pos.
+using Ordering = std::vector<graph::NodeId>;
+
+/// True when `o` is a permutation of 0..n-1.
+bool is_permutation(const Ordering& o, std::size_t n);
+
+/// Inverse permutation: result[vertex] = position.
+std::vector<std::uint32_t> positions_of(const Ordering& o);
+
+/// Result of the best prefix split of an ordering.
+struct SplitResult {
+  /// Prefix length (vertices ordering[0..split) form cluster 0).
+  std::size_t split = 0;
+  /// Net cut at the split (each cut net once).
+  double cut = std::numeric_limits<double>::infinity();
+  /// Value of the objective that was optimized (ratio cut or cut).
+  double objective = std::numeric_limits<double>::infinity();
+  /// True if any feasible split existed.
+  bool feasible = false;
+};
+
+/// Minimizes ratio cut = cut / (i * (n-i)) over all splits i in [1, n-1]
+/// with both sides at least `min_fraction * n` (0 = unconstrained, the
+/// RSB setting: "choosing the best of all splits of the Fiedler vector").
+SplitResult best_ratio_cut_split(const graph::Hypergraph& h,
+                                 const Ordering& o,
+                                 double min_fraction = 0.0);
+
+/// Minimizes the net cut subject to both sides holding at least
+/// `min_fraction * n` vertices (the paper's Table 5 uses 0.45).
+SplitResult best_min_cut_split(const graph::Hypergraph& h, const Ordering& o,
+                               double min_fraction);
+
+/// Materializes the bipartition for a split of `o` at prefix length
+/// `split`.
+Partition split_to_partition(const Ordering& o, std::size_t split);
+
+/// Net cut of every prefix split: result[i] = cut when the first i vertices
+/// form one side (result[0] = result[n] = 0). Building block for the
+/// splitters above and for DP-RP tests.
+std::vector<double> prefix_cuts(const graph::Hypergraph& h, const Ordering& o);
+
+}  // namespace specpart::part

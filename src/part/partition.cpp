@@ -1,0 +1,67 @@
+#include "part/partition.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace specpart::part {
+
+Partition::Partition(std::size_t num_nodes, std::uint32_t k)
+    : assignment_(num_nodes, 0), sizes_(k, 0), k_(k) {
+  SP_ASSERT(k >= 1);
+  sizes_[0] = num_nodes;
+}
+
+Partition::Partition(std::vector<std::uint32_t> assignment, std::uint32_t k)
+    : assignment_(std::move(assignment)), sizes_(k, 0), k_(k) {
+  SP_ASSERT(k >= 1);
+  for (std::uint32_t c : assignment_) {
+    SP_ASSERT(c < k);
+    ++sizes_[c];
+  }
+}
+
+void Partition::assign(graph::NodeId v, std::uint32_t c) {
+  SP_ASSERT(v < assignment_.size() && c < k_);
+  const std::uint32_t old = assignment_[v];
+  if (old == c) return;
+  --sizes_[old];
+  ++sizes_[c];
+  assignment_[v] = c;
+}
+
+std::vector<graph::NodeId> Partition::members(std::uint32_t c) const {
+  std::vector<graph::NodeId> out;
+  out.reserve(sizes_[c]);
+  for (graph::NodeId v = 0; v < assignment_.size(); ++v)
+    if (assignment_[v] == c) out.push_back(v);
+  return out;
+}
+
+std::uint32_t Partition::num_nonempty() const {
+  std::uint32_t count = 0;
+  for (std::size_t s : sizes_)
+    if (s > 0) ++count;
+  return count;
+}
+
+std::size_t BalanceConstraint::lower(std::size_t n) const {
+  return static_cast<std::size_t>(
+      std::ceil(min_fraction * static_cast<double>(n) - 1e-9));
+}
+
+std::size_t BalanceConstraint::upper(std::size_t n) const {
+  return static_cast<std::size_t>(
+      std::floor(max_fraction * static_cast<double>(n) + 1e-9));
+}
+
+bool BalanceConstraint::satisfied(const Partition& p) const {
+  const std::size_t n = p.num_nodes();
+  for (std::uint32_t c = 0; c < p.k(); ++c) {
+    if (p.cluster_size(c) < lower(n) || p.cluster_size(c) > upper(n))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace specpart::part

@@ -1,0 +1,62 @@
+// Partition representation and balance constraints.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace specpart::part {
+
+/// A k-way partition of n vertices: assignment[v] in [0, k).
+/// Cluster sizes are maintained incrementally.
+class Partition {
+ public:
+  Partition() = default;
+
+  /// All vertices initially in cluster 0.
+  Partition(std::size_t num_nodes, std::uint32_t k);
+
+  /// Adopts an explicit assignment; every entry must be < k.
+  Partition(std::vector<std::uint32_t> assignment, std::uint32_t k);
+
+  std::uint32_t k() const { return k_; }
+  std::size_t num_nodes() const { return assignment_.size(); }
+
+  std::uint32_t cluster_of(graph::NodeId v) const { return assignment_[v]; }
+
+  /// Moves v to cluster c, updating sizes.
+  void assign(graph::NodeId v, std::uint32_t c);
+
+  std::size_t cluster_size(std::uint32_t c) const { return sizes_[c]; }
+  const std::vector<std::size_t>& sizes() const { return sizes_; }
+  const std::vector<std::uint32_t>& assignment() const { return assignment_; }
+
+  /// Vertex ids of cluster c (computed on demand).
+  std::vector<graph::NodeId> members(std::uint32_t c) const;
+
+  /// Number of non-empty clusters.
+  std::uint32_t num_nonempty() const;
+
+ private:
+  std::vector<std::uint32_t> assignment_;
+  std::vector<std::size_t> sizes_;
+  std::uint32_t k_ = 0;
+};
+
+/// Relative size bounds: every cluster must hold between min_fraction and
+/// max_fraction of the vertices. The paper's "balanced bipartitioning"
+/// experiments use [0.45, 0.55].
+struct BalanceConstraint {
+  double min_fraction = 0.0;
+  double max_fraction = 1.0;
+
+  /// Lower bound on cluster size, in vertices (ceil).
+  std::size_t lower(std::size_t n) const;
+  /// Upper bound on cluster size, in vertices (floor).
+  std::size_t upper(std::size_t n) const;
+  /// True when every cluster of p satisfies the bounds.
+  bool satisfied(const Partition& p) const;
+};
+
+}  // namespace specpart::part

@@ -1,0 +1,73 @@
+#include "part/report.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "part/objectives.h"
+#include "util/error.h"
+#include "util/stringutil.h"
+
+namespace specpart::part {
+
+QualityReport evaluate(const graph::Hypergraph& h, const Partition& p) {
+  SP_REQUIRE(p.num_nodes() == h.num_nodes(), "evaluate: size mismatch");
+  QualityReport r;
+  r.k = p.k();
+  r.num_nodes = h.num_nodes();
+  r.num_nets = h.num_nets();
+  r.cut_nets = cut_nets(h, p);
+  r.k_minus_one = k_minus_one_cost(h, p);
+  r.soed = sum_of_external_degrees(h, p);
+  r.absorption = absorption(h, p);
+  r.scaled_cost = p.k() >= 2 ? scaled_cost(h, p) : 0.0;
+  r.ratio_cut = p.k() == 2 ? ratio_cut(h, p) : 0.0;
+
+  r.clusters.resize(p.k());
+  const std::vector<double> degrees = cluster_degrees(h, p);
+  std::size_t max_size = 0;
+  for (std::uint32_t c = 0; c < p.k(); ++c) {
+    r.clusters[c].size = p.cluster_size(c);
+    r.clusters[c].external_degree = degrees[c];
+    max_size = std::max(max_size, p.cluster_size(c));
+  }
+  for (graph::NetId e = 0; e < h.num_nets(); ++e) {
+    const auto& pins = h.net(e);
+    if (pins.empty()) continue;
+    const std::uint32_t first = p.cluster_of(pins[0]);
+    bool internal = true;
+    for (graph::NodeId v : pins) internal = internal && p.cluster_of(v) == first;
+    if (internal) r.clusters[first].internal_nets += h.net_weight(e);
+  }
+  const double avg =
+      static_cast<double>(r.num_nodes) / static_cast<double>(r.k);
+  r.imbalance = avg > 0.0 ? static_cast<double>(max_size) / avg : 0.0;
+  return r;
+}
+
+void print_report(const QualityReport& r, std::ostream& out) {
+  out << strprintf("partition: k=%u over %zu modules, %zu nets\n", r.k,
+                   r.num_nodes, r.num_nets);
+  out << strprintf("  cut nets    : %.6g\n", r.cut_nets);
+  out << strprintf("  (K-1) cost  : %.6g\n", r.k_minus_one);
+  out << strprintf("  SOED        : %.6g\n", r.soed);
+  out << strprintf("  absorption  : %.6g (of %zu nets)\n", r.absorption,
+                   r.num_nets);
+  if (r.k >= 2) out << strprintf("  scaled cost : %.6g\n", r.scaled_cost);
+  if (r.k == 2) out << strprintf("  ratio cut   : %.6g\n", r.ratio_cut);
+  out << strprintf("  imbalance   : %.3f (max cluster / ideal)\n",
+                   r.imbalance);
+  for (std::size_t c = 0; c < r.clusters.size(); ++c) {
+    out << strprintf(
+        "  cluster %-3zu : %6zu modules, E_h = %-8.6g internal nets = %.6g\n",
+        c, r.clusters[c].size, r.clusters[c].external_degree,
+        r.clusters[c].internal_nets);
+  }
+}
+
+std::string report_string(const graph::Hypergraph& h, const Partition& p) {
+  std::ostringstream out;
+  print_report(evaluate(h, p), out);
+  return out.str();
+}
+
+}  // namespace specpart::part

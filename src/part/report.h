@@ -1,0 +1,52 @@
+// Partition quality reports: every metric the library knows, computed in
+// one pass-friendly struct, plus a human-readable rendering. This is what
+// a tool should print after partitioning a netlist (examples/netlist_tool
+// uses it with --report).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/hypergraph.h"
+#include "part/partition.h"
+
+namespace specpart::part {
+
+/// Per-cluster statistics.
+struct ClusterStats {
+  std::size_t size = 0;
+  /// Weight of cut nets incident to this cluster (E_h).
+  double external_degree = 0.0;
+  /// Weight of nets entirely inside this cluster.
+  double internal_nets = 0.0;
+};
+
+/// Full quality report of a k-way partition of a netlist.
+struct QualityReport {
+  std::uint32_t k = 0;
+  std::size_t num_nodes = 0;
+  std::size_t num_nets = 0;
+  double cut_nets = 0.0;
+  double k_minus_one = 0.0;
+  double soed = 0.0;
+  double absorption = 0.0;
+  /// Scaled Cost; +inf when a cluster is empty.
+  double scaled_cost = 0.0;
+  /// Ratio cut for k = 2 (0 otherwise).
+  double ratio_cut = 0.0;
+  /// max cluster size / (n / k): 1.0 = perfectly balanced.
+  double imbalance = 0.0;
+  std::vector<ClusterStats> clusters;
+};
+
+/// Computes every metric for the partition.
+QualityReport evaluate(const graph::Hypergraph& h, const Partition& p);
+
+/// Renders the report as aligned human-readable text.
+void print_report(const QualityReport& report, std::ostream& out);
+
+/// Convenience: evaluate + render to a string.
+std::string report_string(const graph::Hypergraph& h, const Partition& p);
+
+}  // namespace specpart::part

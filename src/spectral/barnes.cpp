@@ -1,0 +1,118 @@
+#include "spectral/barnes.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/laplacian.h"
+#include "linalg/lanczos.h"
+#include "linalg/symmetric_eigen.h"
+#include "opt/mincostflow.h"
+#include "util/error.h"
+
+namespace specpart::spectral {
+
+namespace {
+
+/// k dominant eigenvectors of the adjacency matrix (largest eigenvalues —
+/// Barnes and Donath/Hoffman [16] work with A, not the Laplacian).
+linalg::DenseMatrix dominant_adjacency_eigenvectors(const graph::Graph& g,
+                                                    std::uint32_t k,
+                                                    std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  const linalg::SymCsrMatrix a = graph::build_adjacency(g);
+  if (n <= 320) {
+    const linalg::EigenDecomposition dec =
+        linalg::solve_symmetric_eigen(a.to_dense());
+    linalg::DenseMatrix top(n, k);
+    for (std::uint32_t j = 0; j < k; ++j)
+      top.set_col(j, dec.vectors.col(n - 1 - j));
+    return top;
+  }
+  // Shift to make the operator positive so the dominant pairs of A are the
+  // dominant pairs of A + sigma*I (Gershgorin bounds |lambda_min|).
+  const double sigma = a.gershgorin_upper() + 1.0;
+  auto apply = [&](const linalg::Vec& x, linalg::Vec& y) {
+    a.matvec(x, y);
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += sigma * x[i];
+  };
+  linalg::LanczosOptions opts;
+  opts.num_eigenpairs = k;
+  opts.seed = seed;
+  const linalg::LanczosResult r =
+      linalg::lanczos_largest_op(n, apply, 2.0 * sigma, opts);
+  return r.vectors;
+}
+
+}  // namespace
+
+part::Partition barnes_partition(const graph::Hypergraph& h, std::uint32_t k,
+                                 const BarnesOptions& opts) {
+  const std::size_t n = h.num_nodes();
+  SP_CHECK_INPUT(k >= 2 && k <= n, "Barnes: need 2 <= k <= n");
+
+  std::vector<std::size_t> sizes = opts.cluster_sizes;
+  if (sizes.empty()) {
+    sizes.assign(k, n / k);
+    for (std::size_t r = 0; r < n % k; ++r) ++sizes[r];
+  }
+  SP_CHECK_INPUT(sizes.size() == k,
+                 "Barnes: cluster_sizes must have k entries");
+  SP_CHECK_INPUT(std::accumulate(sizes.begin(), sizes.end(),
+                                 std::size_t{0}) == n,
+                 "Barnes: cluster sizes must sum to n");
+
+  const graph::Graph g = model::clique_expand(h, opts.net_model);
+  linalg::DenseMatrix u = dominant_adjacency_eigenvectors(g, k, opts.seed);
+  // Eigenvector signs are arbitrary; orient each so its positive mass
+  // dominates (a cluster indicator is non-negative).
+  for (std::uint32_t c = 0; c < k; ++c) {
+    double positive = 0.0, negative = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = u.at(i, c);
+      (x >= 0.0 ? positive : negative) += x * x;
+    }
+    if (negative > positive)
+      for (std::size_t i = 0; i < n; ++i) u.at(i, c) = -u.at(i, c);
+  }
+
+  // Transportation problem: assign vertex i to cluster hh maximizing
+  // u_h(i)/sqrt(m_h) subject to the size constraints. Solved as min-cost
+  // flow: source -> cluster (cap m_h) -> vertex (cap 1, cost -u_h(i)/
+  // sqrt(m_h)) -> sink (cap 1).
+  const std::uint32_t source = 0;
+  const std::uint32_t cluster0 = 1;
+  const std::uint32_t vertex0 = cluster0 + k;
+  const std::uint32_t sink = vertex0 + static_cast<std::uint32_t>(n);
+  opt::MinCostFlow flow(sink + 1);
+  for (std::uint32_t c = 0; c < k; ++c)
+    flow.add_arc(source, cluster0 + c, static_cast<double>(sizes[c]), 0.0);
+  std::vector<std::vector<std::size_t>> assign_arc(
+      k, std::vector<std::size_t>(n));
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const double scale = 1.0 / std::sqrt(static_cast<double>(sizes[c]));
+    for (std::size_t i = 0; i < n; ++i) {
+      assign_arc[c][i] =
+          flow.add_arc(cluster0 + c, vertex0 + static_cast<std::uint32_t>(i),
+                       1.0, -u.at(i, c) * scale);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    flow.add_arc(vertex0 + static_cast<std::uint32_t>(i), sink, 1.0, 0.0);
+
+  const opt::MinCostFlow::Result result = flow.solve(source, sink);
+  SP_REQUIRE(std::fabs(result.flow - static_cast<double>(n)) < 1e-6,
+             "Barnes: transportation problem did not saturate");
+
+  part::Partition p(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (flow.flow_on(assign_arc[c][i]) > 0.5) {
+        p.assign(static_cast<graph::NodeId>(i), c);
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace specpart::spectral

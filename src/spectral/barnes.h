@@ -1,0 +1,32 @@
+// Barnes' spectral k-way partitioning [7] — the classic "multiple linear
+// orderings" method the paper surveys: approximate the scaled cluster
+// indicator vectors X_h / sqrt(m_h) by the k dominant eigenvectors of the
+// adjacency matrix, assigning vertices to clusters so the total rounding
+// error is minimized. With prescribed cluster sizes m_1..m_k this is a
+// transportation problem (here solved exactly with min-cost flow), whose
+// LP relaxation has an integral optimum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hypergraph.h"
+#include "model/clique_models.h"
+#include "part/partition.h"
+
+namespace specpart::spectral {
+
+struct BarnesOptions {
+  model::NetModel net_model = model::NetModel::kPartitioningSpecific;
+  /// Prescribed cluster sizes; empty = balanced n/k (remainder spread over
+  /// the first clusters).
+  std::vector<std::size_t> cluster_sizes;
+  std::uint64_t seed = 0xBA27E5ULL;
+};
+
+/// Barnes' algorithm on a netlist (clique-expanded). Requires
+/// 2 <= k <= n; prescribed sizes (if given) must sum to n.
+part::Partition barnes_partition(const graph::Hypergraph& h, std::uint32_t k,
+                                 const BarnesOptions& opts);
+
+}  // namespace specpart::spectral

@@ -1,0 +1,127 @@
+#include "spectral/dprp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "part/objectives.h"
+#include "util/error.h"
+
+namespace specpart::spectral {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Filled DP state: dp[h][j] = best sum of E/|C| using h clusters over the
+/// first j positions of the ordering; parent[h][j] = the split point i
+/// achieving it. Valid for every h <= k simultaneously.
+struct DpTables {
+  std::vector<std::vector<double>> dp;
+  std::vector<std::vector<std::uint32_t>> parent;
+};
+
+DpTables fill_tables(const graph::Hypergraph& h, const part::Ordering& o,
+                     std::uint32_t k, std::size_t lo, std::size_t hi) {
+  const std::size_t n = h.num_nodes();
+  DpTables t;
+  t.dp.assign(k + 1, std::vector<double>(n + 1, kInf));
+  t.parent.assign(k + 1, std::vector<std::uint32_t>(n + 1, 0));
+  t.dp[0][0] = 0.0;
+
+  std::vector<std::uint32_t> inside(h.num_nets(), 0);
+  std::vector<graph::NetId> touched;
+
+  for (std::uint32_t level = 1; level <= k; ++level) {
+    auto& cur = t.dp[level];
+    const auto& prev = t.dp[level - 1];
+    for (std::size_t i = (level - 1) * lo; i + lo <= n; ++i) {
+      if (prev[i] == kInf) continue;
+      // Incremental sweep: grow segment [i, j) one vertex at a time.
+      touched.clear();
+      double cut = 0.0;
+      const std::size_t j_end = std::min(n, i + hi);
+      for (std::size_t j = i + 1; j <= j_end; ++j) {
+        const graph::NodeId v = o[j - 1];
+        for (graph::NetId e : h.nets_of(v)) {
+          const std::size_t size = h.net(e).size();
+          if (size < 2) continue;
+          const std::uint32_t before = inside[e]++;
+          if (before == 0) {
+            cut += h.net_weight(e);
+            touched.push_back(e);
+          }
+          if (before + 1 == size) cut -= h.net_weight(e);
+        }
+        const std::size_t len = j - i;
+        if (len < lo) continue;
+        const double candidate = prev[i] + cut / static_cast<double>(len);
+        if (candidate < cur[j]) {
+          cur[j] = candidate;
+          t.parent[level][j] = static_cast<std::uint32_t>(i);
+        }
+      }
+      for (graph::NetId e : touched) inside[e] = 0;
+    }
+  }
+  return t;
+}
+
+DprpResult reconstruct(const graph::Hypergraph& h, const part::Ordering& o,
+                       const DpTables& t, std::uint32_t k) {
+  const std::size_t n = h.num_nodes();
+  DprpResult result;
+  if (t.dp[k][n] == kInf) return result;  // feasible stays false
+  result.feasible = true;
+  result.boundaries.assign(k + 1, 0);
+  result.boundaries[k] = n;
+  for (std::uint32_t level = k; level >= 1; --level)
+    result.boundaries[level - 1] = t.parent[level][result.boundaries[level]];
+  std::vector<std::uint32_t> assignment(n, 0);
+  for (std::uint32_t c = 0; c < k; ++c)
+    for (std::size_t pos = result.boundaries[c];
+         pos < result.boundaries[c + 1]; ++pos)
+      assignment[o[pos]] = c;
+  result.partition = part::Partition(std::move(assignment), k);
+  result.scaled_cost = part::scaled_cost(h, result.partition);
+  return result;
+}
+
+void validate(const graph::Hypergraph& h, const part::Ordering& o,
+              const DprpOptions& opts, std::size_t* lo, std::size_t* hi) {
+  const std::size_t n = h.num_nodes();
+  SP_CHECK_INPUT(opts.k >= 2, "DP-RP: need k >= 2");
+  SP_REQUIRE(part::is_permutation(o, n), "DP-RP: ordering not a permutation");
+  *lo = std::max<std::size_t>(1, opts.min_cluster_size);
+  *hi = opts.max_cluster_size == 0 ? n : opts.max_cluster_size;
+  SP_CHECK_INPUT(*lo <= *hi, "DP-RP: min cluster size exceeds max");
+}
+
+}  // namespace
+
+DprpResult dprp_split(const graph::Hypergraph& h, const part::Ordering& o,
+                      const DprpOptions& opts) {
+  std::size_t lo = 0, hi = 0;
+  validate(h, o, opts, &lo, &hi);
+  const std::size_t n = h.num_nodes();
+  SP_CHECK_INPUT(opts.k * lo <= n && opts.k * hi >= n,
+                 "DP-RP: size bounds admit no k-way split");
+  const DpTables tables = fill_tables(h, o, opts.k, lo, hi);
+  DprpResult result = reconstruct(h, o, tables, opts.k);
+  SP_CHECK_INPUT(result.feasible, "DP-RP: no feasible restricted partition");
+  return result;
+}
+
+std::vector<DprpResult> dprp_all_k(const graph::Hypergraph& h,
+                                   const part::Ordering& o,
+                                   const DprpOptions& opts) {
+  std::size_t lo = 0, hi = 0;
+  validate(h, o, opts, &lo, &hi);
+  const DpTables tables = fill_tables(h, o, opts.k, lo, hi);
+  std::vector<DprpResult> results;
+  results.reserve(opts.k - 1);
+  for (std::uint32_t k = 2; k <= opts.k; ++k)
+    results.push_back(reconstruct(h, o, tables, k));
+  return results;
+}
+
+}  // namespace specpart::spectral

@@ -1,0 +1,62 @@
+#include "spectral/embedding.h"
+
+#include <algorithm>
+
+#include "graph/laplacian.h"
+#include "linalg/lanczos.h"
+#include "linalg/symmetric_eigen.h"
+#include "util/error.h"
+
+namespace specpart::spectral {
+
+EigenBasis compute_eigenbasis(const graph::Graph& g,
+                              const EmbeddingOptions& opts) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t extra = opts.skip_trivial ? 1 : 0;
+  const std::size_t want = std::min(n, opts.count + extra);
+  const linalg::SymCsrMatrix q = graph::build_laplacian(g);
+
+  EigenBasis basis;
+  basis.n = n;
+  basis.laplacian_trace = q.trace();
+
+  linalg::Vec values;
+  linalg::DenseMatrix vectors;
+  bool converged = false;
+  if (n <= opts.dense_threshold) {
+    linalg::EigenDecomposition dec =
+        linalg::solve_symmetric_eigen_smallest(q.to_dense(), want);
+    values = std::move(dec.values);
+    vectors = std::move(dec.vectors);
+    converged = true;
+  } else {
+    linalg::LanczosOptions lopts;
+    lopts.num_eigenpairs = want;
+    lopts.tolerance = opts.tolerance;
+    lopts.seed = opts.seed;
+    linalg::LanczosResult result = linalg::lanczos_smallest(q, lopts);
+    // Retry with a larger Krylov space if unconverged (clustered spectra).
+    for (int attempt = 0; attempt < 2 && !result.converged; ++attempt) {
+      lopts.max_iterations =
+          std::min(n, std::max<std::size_t>(result.iterations * 2, 160));
+      lopts.seed += 1;
+      result = linalg::lanczos_smallest(q, lopts);
+    }
+    values = std::move(result.values);
+    vectors = std::move(result.vectors);
+    converged = result.converged;
+  }
+
+  const std::size_t have = values.size();
+  SP_REQUIRE(have >= extra, "eigensolver returned no usable pairs");
+  const std::size_t keep = have - extra;
+  basis.values.assign(values.begin() + static_cast<std::ptrdiff_t>(extra),
+                      values.end());
+  basis.vectors = linalg::DenseMatrix(n, keep);
+  for (std::size_t j = 0; j < keep; ++j)
+    basis.vectors.set_col(j, vectors.col(j + extra));
+  basis.converged = converged;
+  return basis;
+}
+
+}  // namespace specpart::spectral

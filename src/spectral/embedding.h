@@ -1,0 +1,48 @@
+// Spectral embedding driver: Laplacian eigenpairs of a graph.
+//
+// Chooses between the exact dense solver (small graphs, test oracles) and
+// Lanczos (everything else), with automatic retry at a larger Krylov
+// dimension if the first attempt does not converge. All spectral heuristics
+// (SB, RSB, KP, SFC, MELO) get their eigenvectors from here.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "linalg/dense.h"
+
+namespace specpart::spectral {
+
+struct EmbeddingOptions {
+  /// Number of eigenpairs to return, counted from the smallest eigenvalue
+  /// (the first pair of a connected graph is the trivial lambda = 0 /
+  /// constant-vector pair).
+  std::size_t count = 2;
+  /// Drop the trivial first pair and return the `count` pairs after it.
+  bool skip_trivial = false;
+  /// Use the exact dense solver when n <= dense_threshold.
+  std::size_t dense_threshold = 320;
+  double tolerance = 1e-8;
+  std::uint64_t seed = 0xABCDEFULL;
+};
+
+/// Eigenpairs of the Laplacian plus the invariants MELO's H-selection needs.
+struct EigenBasis {
+  /// Eigenvalues, ascending. values[j] pairs with column j of vectors.
+  linalg::Vec values;
+  /// n x d matrix; column j is a unit eigenvector.
+  linalg::DenseMatrix vectors;
+  /// trace(Q) = sum of ALL n eigenvalues — known exactly without computing
+  /// the unused ones; drives the H estimate (reduction.h).
+  double laplacian_trace = 0.0;
+  std::size_t n = 0;
+  bool converged = false;
+
+  std::size_t dimension() const { return values.size(); }
+};
+
+/// Computes the smallest Laplacian eigenpairs of `g` per `opts`.
+EigenBasis compute_eigenbasis(const graph::Graph& g,
+                              const EmbeddingOptions& opts);
+
+}  // namespace specpart::spectral

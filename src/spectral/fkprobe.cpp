@@ -1,0 +1,68 @@
+#include "spectral/fkprobe.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "part/objectives.h"
+#include "part/ordering.h"
+#include "spectral/embedding.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace specpart::spectral {
+
+FkProbeResult fk_probe_bipartition(const graph::Hypergraph& h,
+                                   const FkProbeOptions& opts) {
+  const std::size_t n = h.num_nodes();
+  SP_CHECK_INPUT(n >= 2, "fk_probe: need at least 2 vertices");
+
+  const graph::Graph g = model::clique_expand(h, opts.net_model);
+  EmbeddingOptions eopts;
+  eopts.count = opts.dimensions;
+  eopts.skip_trivial = true;
+  eopts.seed = opts.seed;
+  const EigenBasis basis = compute_eigenbasis(g, eopts);
+  const std::size_t d = basis.dimension();
+
+  Rng rng(opts.seed);
+  FkProbeResult best;
+  double best_objective = std::numeric_limits<double>::infinity();
+  bool have = false;
+  for (std::size_t probe = 0;
+       probe < std::max<std::size_t>(1, opts.num_probes); ++probe) {
+    // Random probe direction; per-vertex scores s_i = y_i . r.
+    linalg::Vec r(d);
+    for (double& x : r) x = rng.next_normal();
+    std::vector<double> score(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < d; ++j)
+        score[i] += basis.vectors.at(i, j) * r[j];
+
+    // The maximal-projection indicator for every prefix size is the top-m
+    // scorers, so sorting gives all n candidates at once.
+    part::Ordering order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&](graph::NodeId a, graph::NodeId b) {
+                if (score[a] != score[b]) return score[a] > score[b];
+                return a < b;
+              });
+
+    const part::SplitResult split =
+        opts.min_fraction > 0.0
+            ? part::best_min_cut_split(h, order, opts.min_fraction)
+            : part::best_ratio_cut_split(h, order);
+    if (!split.feasible) continue;
+    if (!have || split.objective < best_objective) {
+      have = true;
+      best_objective = split.objective;
+      best.partition = part::split_to_partition(order, split.split);
+      best.cut = split.cut;
+    }
+  }
+  SP_CHECK_INPUT(have, "fk_probe: no probe produced a feasible split");
+  return best;
+}
+
+}  // namespace specpart::spectral

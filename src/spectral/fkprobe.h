@@ -1,0 +1,39 @@
+// Frankle-Karp probe bipartitioning [19] — the "probe vectors" family the
+// paper surveys: pick a direction r in the d-space spanned by the best
+// eigenvectors; among all 0/1 indicator vectors, the one whose (normalized)
+// embedding-space image projects maximally onto r is found in O(n log n) by
+// sorting vertices on their per-vertex scores s_i = y_i . r and scanning
+// prefixes. Each probe yields a candidate bipartition; the best cut over
+// many probes wins.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/hypergraph.h"
+#include "model/clique_models.h"
+#include "part/partition.h"
+
+namespace specpart::spectral {
+
+struct FkProbeOptions {
+  model::NetModel net_model = model::NetModel::kPartitioningSpecific;
+  /// Embedding dimensions (non-trivial eigenvectors).
+  std::size_t dimensions = 5;
+  /// Random probe directions tried.
+  std::size_t num_probes = 32;
+  /// Both sides must hold at least this fraction of the modules; 0 selects
+  /// the best ratio-cut prefix instead of the min-cut one.
+  double min_fraction = 0.45;
+  std::uint64_t seed = 0xF12AULL;
+};
+
+struct FkProbeResult {
+  part::Partition partition;
+  double cut = 0.0;
+};
+
+/// Best-of-probes bipartitioning. Requires n >= 2.
+FkProbeResult fk_probe_bipartition(const graph::Hypergraph& h,
+                                   const FkProbeOptions& opts);
+
+}  // namespace specpart::spectral

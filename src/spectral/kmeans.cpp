@@ -1,0 +1,160 @@
+#include "spectral/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "spectral/embedding.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace specpart::spectral {
+
+namespace {
+
+double dist_sq(const linalg::DenseMatrix& points, std::size_t row,
+               const linalg::Vec& center) {
+  double s = 0.0;
+  for (std::size_t j = 0; j < center.size(); ++j) {
+    const double delta = points.at(row, j) - center[j];
+    s += delta * delta;
+  }
+  return s;
+}
+
+/// Farthest-point (k-means++-flavoured) seeding.
+std::vector<linalg::Vec> seed_centers(const linalg::DenseMatrix& points,
+                                      std::uint32_t k, Rng& rng) {
+  const std::size_t n = points.rows();
+  std::vector<linalg::Vec> centers;
+  centers.push_back(points.row(rng.next_below(n)));
+  std::vector<double> best_dist(n, std::numeric_limits<double>::infinity());
+  while (centers.size() < k) {
+    std::size_t farthest = 0;
+    double farthest_dist = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      best_dist[i] =
+          std::min(best_dist[i], dist_sq(points, i, centers.back()));
+      if (best_dist[i] > farthest_dist) {
+        farthest_dist = best_dist[i];
+        farthest = i;
+      }
+    }
+    centers.push_back(points.row(farthest));
+  }
+  return centers;
+}
+
+/// One Lloyd run; returns the within-cluster scatter of the result.
+double lloyd(const linalg::DenseMatrix& points, std::uint32_t k,
+             std::size_t max_iterations, Rng& rng,
+             std::vector<std::uint32_t>& assignment) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  std::vector<linalg::Vec> centers = seed_centers(points, k, rng);
+  assignment.assign(n, 0);
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    bool changed = iter == 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::uint32_t c = 0; c < k; ++c) {
+        const double dc = dist_sq(points, i, centers[c]);
+        if (dc < best_d) {
+          best_d = dc;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+
+    // Recompute centers; re-seed empties with the globally farthest point.
+    std::vector<std::size_t> count(k, 0);
+    for (auto& c : centers) c.assign(d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++count[assignment[i]];
+      for (std::size_t j = 0; j < d; ++j)
+        centers[assignment[i]][j] += points.at(i, j);
+    }
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (count[c] == 0) {
+        std::size_t farthest = 0;
+        double farthest_dist = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dc =
+              dist_sq(points, i, centers[assignment[i]]);
+          if (dc > farthest_dist) {
+            farthest_dist = dc;
+            farthest = i;
+          }
+        }
+        centers[c] = points.row(farthest);
+        continue;
+      }
+      for (std::size_t j = 0; j < d; ++j)
+        centers[c][j] /= static_cast<double>(count[c]);
+    }
+  }
+
+  // Guarantee non-empty clusters: steal the point farthest from its center
+  // for any empty cluster.
+  std::vector<std::size_t> count(k, 0);
+  for (std::uint32_t a : assignment) ++count[a];
+  for (std::uint32_t c = 0; c < k; ++c) {
+    if (count[c] > 0) continue;
+    std::size_t donor = 0;
+    double donor_dist = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (count[assignment[i]] <= 1) continue;
+      const double dc = dist_sq(points, i, centers[assignment[i]]);
+      if (dc > donor_dist) {
+        donor_dist = dc;
+        donor = i;
+      }
+    }
+    --count[assignment[donor]];
+    assignment[donor] = c;
+    ++count[c];
+  }
+
+  double scatter = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    scatter += dist_sq(points, i, centers[assignment[i]]);
+  return scatter;
+}
+
+}  // namespace
+
+part::Partition kmeans_partition(const graph::Hypergraph& h, std::uint32_t k,
+                                 const KmeansOptions& opts) {
+  const std::size_t n = h.num_nodes();
+  SP_CHECK_INPUT(k >= 2 && k <= n, "kmeans: need 2 <= k <= n");
+
+  const graph::Graph g = model::clique_expand(h, opts.net_model);
+  EmbeddingOptions eopts;
+  eopts.count = opts.dimensions == 0 ? k : opts.dimensions;
+  eopts.skip_trivial = true;
+  eopts.seed = opts.seed;
+  const EigenBasis basis = compute_eigenbasis(g, eopts);
+
+  Rng rng(opts.seed);
+  std::vector<std::uint32_t> best_assignment;
+  double best_scatter = std::numeric_limits<double>::infinity();
+  std::vector<std::uint32_t> assignment;
+  for (std::size_t start = 0;
+       start < std::max<std::size_t>(1, opts.num_starts); ++start) {
+    const double scatter =
+        lloyd(basis.vectors, k, opts.max_iterations, rng, assignment);
+    if (scatter < best_scatter) {
+      best_scatter = scatter;
+      best_assignment = assignment;
+    }
+  }
+  return part::Partition(std::move(best_assignment), k);
+}
+
+}  // namespace specpart::spectral

@@ -1,0 +1,35 @@
+// Spectral k-means — the "points in d-space" family of the paper's survey
+// (Hall [27], Alpert-Kahng [1][2]) taken to its natural conclusion: embed
+// vertices as points with d eigenvectors, then cluster with Lloyd's
+// algorithm. Included as an additional multi-way baseline: unlike KP it
+// uses Euclidean distance (magnitude-aware), and unlike MELO it clusters
+// points directly instead of ordering vectors.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/hypergraph.h"
+#include "model/clique_models.h"
+#include "part/partition.h"
+
+namespace specpart::spectral {
+
+struct KmeansOptions {
+  model::NetModel net_model = model::NetModel::kPartitioningSpecific;
+  /// Embedding dimensions (non-trivial eigenvectors).
+  std::size_t dimensions = 0;  // 0 = use k dimensions
+  std::size_t max_iterations = 64;
+  /// Independent center initializations (k-means++-style farthest-point
+  /// seeding with different random starts); best within-cluster scatter
+  /// wins.
+  std::size_t num_starts = 4;
+  std::uint64_t seed = 0x43EA25ULL;
+};
+
+/// k-way spectral k-means partitioning. Empty clusters are re-seeded with
+/// the farthest point, so the result always has k non-empty clusters
+/// (requires k <= n).
+part::Partition kmeans_partition(const graph::Hypergraph& h, std::uint32_t k,
+                                 const KmeansOptions& opts);
+
+}  // namespace specpart::spectral

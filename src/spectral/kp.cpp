@@ -1,0 +1,95 @@
+#include "spectral/kp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "spectral/embedding.h"
+#include "util/error.h"
+
+namespace specpart::spectral {
+
+namespace {
+
+double cosine(const linalg::Vec& a, const linalg::Vec& b) {
+  const double na = linalg::norm(a);
+  const double nb = linalg::norm(b);
+  if (na <= 1e-300 || nb <= 1e-300) return 0.0;
+  return linalg::dot(a, b) / (na * nb);
+}
+
+}  // namespace
+
+part::Partition kp_partition(const graph::Hypergraph& h, std::uint32_t k,
+                             const KpOptions& opts) {
+  const std::size_t n = h.num_nodes();
+  SP_CHECK_INPUT(k >= 2 && k <= n, "KP: need 2 <= k <= n");
+
+  const graph::Graph g = model::clique_expand(h, opts.net_model);
+  EmbeddingOptions eopts;
+  eopts.count = k;
+  eopts.skip_trivial = !opts.include_trivial;
+  eopts.seed = opts.seed;
+  const EigenBasis basis = compute_eigenbasis(g, eopts);
+  const std::size_t d = basis.dimension();
+  SP_REQUIRE(d >= 2, "KP: embedding has too few eigenvectors");
+
+  std::vector<linalg::Vec> y(n);
+  for (graph::NodeId v = 0; v < n; ++v) y[v] = basis.vectors.row(v);
+
+  // Prototype selection: start from the longest vertex vector, then
+  // greedily add the vertex whose vector minimizes the maximum cosine to
+  // the prototypes chosen so far (mutually most un-aligned directions).
+  std::vector<graph::NodeId> prototypes;
+  {
+    graph::NodeId first = 0;
+    double best_norm = -1.0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const double len = linalg::norm(y[v]);
+      if (len > best_norm) {
+        best_norm = len;
+        first = v;
+      }
+    }
+    prototypes.push_back(first);
+  }
+  while (prototypes.size() < k) {
+    graph::NodeId best = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (std::find(prototypes.begin(), prototypes.end(), v) !=
+          prototypes.end())
+        continue;
+      double worst = -std::numeric_limits<double>::infinity();
+      for (graph::NodeId p : prototypes)
+        worst = std::max(worst, cosine(y[v], y[p]));
+      // Prefer longer vectors among equally un-aligned candidates.
+      const double score = worst - 1e-9 * linalg::norm(y[v]);
+      if (score < best_score) {
+        best_score = score;
+        best = v;
+      }
+    }
+    prototypes.push_back(best);
+  }
+
+  // Assignment: each vertex joins the prototype with the largest cosine.
+  part::Partition p(n, k);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    std::uint32_t best_c = 0;
+    double best_cos = -std::numeric_limits<double>::infinity();
+    for (std::uint32_t c = 0; c < k; ++c) {
+      const double cs = cosine(y[v], y[prototypes[c]]);
+      if (cs > best_cos) {
+        best_cos = cs;
+        best_c = c;
+      }
+    }
+    p.assign(v, best_c);
+  }
+  // Prototypes anchor their own clusters, so none can be empty.
+  for (std::uint32_t c = 0; c < k; ++c) p.assign(prototypes[c], c);
+  return p;
+}
+
+}  // namespace specpart::spectral

@@ -1,0 +1,35 @@
+// KP — the spectral k-way ratio-cut heuristic of Chan, Schlag and Zien [10].
+//
+// Embeds vertex v_i as the i-th row of the n-by-k matrix of the k lowest
+// Laplacian eigenvectors and treats each embedded vertex as a *vector*
+// (not a point): the similarity between two vertices is the directional
+// cosine between their vectors. k "cluster center prototype" vectors are
+// selected to be mutually as un-aligned as possible, and every vertex joins
+// the prototype with the largest cosine. This is the k-eigenvectors-for-
+// k-clusters philosophy the paper argues against — it appears here as the
+// Table 4 baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/hypergraph.h"
+#include "model/clique_models.h"
+#include "part/partition.h"
+
+namespace specpart::spectral {
+
+struct KpOptions {
+  /// The paper found KP works best with the Frankle net model; that is the
+  /// default used in Table 4.
+  model::NetModel net_model = model::NetModel::kFrankle;
+  /// Include the trivial (constant) eigenvector as the first coordinate,
+  /// as in [10]'s k-lowest-eigenvectors formulation.
+  bool include_trivial = true;
+  std::uint64_t seed = 0xC5A1ULL;
+};
+
+/// Partitions `h` into k clusters with the KP directional-cosine heuristic.
+part::Partition kp_partition(const graph::Hypergraph& h, std::uint32_t k,
+                             const KpOptions& opts);
+
+}  // namespace specpart::spectral

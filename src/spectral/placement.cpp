@@ -1,0 +1,41 @@
+#include "spectral/placement.h"
+
+#include "spectral/embedding.h"
+#include "util/error.h"
+
+namespace specpart::spectral {
+
+double quadratic_wirelength(const graph::Graph& g,
+                            const linalg::DenseMatrix& coords) {
+  SP_ASSERT(coords.rows() == g.num_nodes());
+  double total = 0.0;
+  for (const graph::Edge& e : g.edges()) {
+    double dist_sq = 0.0;
+    for (std::size_t j = 0; j < coords.cols(); ++j) {
+      const double delta = coords.at(e.u, j) - coords.at(e.v, j);
+      dist_sq += delta * delta;
+    }
+    total += e.weight * dist_sq;
+  }
+  return total;
+}
+
+Placement hall_placement(const graph::Graph& g, const PlacementOptions& opts) {
+  SP_CHECK_INPUT(g.num_nodes() >= 2, "hall_placement: need >= 2 vertices");
+  EmbeddingOptions eopts;
+  eopts.count = opts.dimensions;
+  eopts.skip_trivial = true;  // the constant vector places everything at 0
+  eopts.seed = opts.seed;
+  const EigenBasis basis = compute_eigenbasis(g, eopts);
+  Placement p;
+  p.coords = basis.vectors;
+  p.quadratic_wirelength = quadratic_wirelength(g, p.coords);
+  return p;
+}
+
+Placement hall_placement(const graph::Hypergraph& h,
+                         const PlacementOptions& opts) {
+  return hall_placement(model::clique_expand(h, opts.net_model), opts);
+}
+
+}  // namespace specpart::spectral

@@ -1,0 +1,41 @@
+// Hall's r-dimensional quadratic placement [27] — the origin of spectral
+// embeddings in VLSI. The coordinates of the d eigenvectors with the
+// smallest non-trivial eigenvalues minimize the quadratic wirelength
+// sum_e w_e ||x_u - x_v||^2 over all centered, orthonormal placements, and
+// that minimum equals lambda_2 + ... + lambda_{d+1}.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/hypergraph.h"
+#include "linalg/dense.h"
+#include "model/clique_models.h"
+
+namespace specpart::spectral {
+
+struct PlacementOptions {
+  std::size_t dimensions = 2;
+  model::NetModel net_model = model::NetModel::kPartitioningSpecific;
+  std::uint64_t seed = 0x9A11ULL;
+};
+
+struct Placement {
+  /// n x d coordinates; column j is the (j+2)-nd Laplacian eigenvector.
+  linalg::DenseMatrix coords;
+  /// sum_e w_e ||x_u - x_v||^2 on the clique-model graph
+  /// (= lambda_2 + ... + lambda_{d+1}).
+  double quadratic_wirelength = 0.0;
+};
+
+/// Quadratic wirelength of an arbitrary placement on a graph.
+double quadratic_wirelength(const graph::Graph& g,
+                            const linalg::DenseMatrix& coords);
+
+/// Hall placement of a netlist (through the clique model).
+Placement hall_placement(const graph::Hypergraph& h,
+                         const PlacementOptions& opts);
+
+/// Hall placement of a plain graph.
+Placement hall_placement(const graph::Graph& g, const PlacementOptions& opts);
+
+}  // namespace specpart::spectral

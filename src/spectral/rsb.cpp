@@ -1,0 +1,72 @@
+#include "spectral/rsb.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "spectral/sb.h"
+#include "util/error.h"
+
+namespace specpart::spectral {
+
+part::Partition rsb_partition(const graph::Hypergraph& h, std::uint32_t k,
+                              const RsbOptions& opts) {
+  const std::size_t n = h.num_nodes();
+  SP_CHECK_INPUT(k >= 2 && k <= n, "RSB: need 2 <= k <= n");
+
+  // Clusters as explicit vertex lists (in original ids).
+  std::vector<std::vector<graph::NodeId>> clusters;
+  {
+    std::vector<graph::NodeId> all(n);
+    std::iota(all.begin(), all.end(), 0u);
+    clusters.push_back(std::move(all));
+  }
+
+  SbOptions sb_opts;
+  sb_opts.net_model = opts.net_model;
+  sb_opts.min_fraction = opts.min_fraction;
+  sb_opts.seed = opts.seed;
+
+  while (clusters.size() < k) {
+    // Largest splittable cluster next (the paper's rule).
+    std::size_t target = clusters.size();
+    std::size_t target_size = 1;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      if (clusters[c].size() > target_size) {
+        target = c;
+        target_size = clusters[c].size();
+      }
+    }
+    SP_CHECK_INPUT(target < clusters.size(),
+                   "RSB: no cluster with >= 2 vertices left to split");
+
+    const std::vector<graph::NodeId> nodes = std::move(clusters[target]);
+    const graph::Hypergraph sub = h.induced(nodes);
+
+    std::vector<graph::NodeId> left, right;
+    if (sub.num_nets() == 0) {
+      // No internal nets: any balanced split is free.
+      const std::size_t half = nodes.size() / 2;
+      left.assign(nodes.begin(), nodes.begin() + static_cast<std::ptrdiff_t>(half));
+      right.assign(nodes.begin() + static_cast<std::ptrdiff_t>(half), nodes.end());
+    } else {
+      sb_opts.seed += 1;  // decorrelate recursive eigensolves
+      const SbResult sb = spectral_bipartition(sub, sb_opts);
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        (sb.partition.cluster_of(static_cast<graph::NodeId>(i)) == 0
+             ? left
+             : right)
+            .push_back(nodes[i]);
+      }
+    }
+    SP_ASSERT(!left.empty() && !right.empty());
+    clusters[target] = std::move(left);
+    clusters.push_back(std::move(right));
+  }
+
+  std::vector<std::uint32_t> assignment(n, 0);
+  for (std::uint32_t c = 0; c < clusters.size(); ++c)
+    for (graph::NodeId v : clusters[c]) assignment[v] = c;
+  return part::Partition(std::move(assignment), k);
+}
+
+}  // namespace specpart::spectral

@@ -1,0 +1,32 @@
+// Recursive spectral bipartitioning (RSB).
+//
+// The multi-way baseline from [25] as the paper runs it: "RSB constructs
+// ratio cut bipartitionings by choosing the best of all splits of the
+// Fiedler vector, and the algorithm is iteratively applied to the largest
+// remaining cluster" until k clusters exist. Each recursion re-expands the
+// induced sub-netlist through the clique model and recomputes the Fiedler
+// vector of the subgraph.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/hypergraph.h"
+#include "model/clique_models.h"
+#include "part/partition.h"
+
+namespace specpart::spectral {
+
+struct RsbOptions {
+  model::NetModel net_model = model::NetModel::kPartitioningSpecific;
+  /// Guard against degenerate one-vertex shavings: each side of every
+  /// recursive split must hold at least this fraction of the sub-netlist.
+  double min_fraction = 0.0;
+  std::uint64_t seed = 0xCAB00D1EULL;
+};
+
+/// Partitions `h` into k clusters by recursive spectral bipartitioning.
+/// Requires 2 <= k <= num_nodes.
+part::Partition rsb_partition(const graph::Hypergraph& h, std::uint32_t k,
+                              const RsbOptions& opts);
+
+}  // namespace specpart::spectral

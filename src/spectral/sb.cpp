@@ -1,0 +1,47 @@
+#include "spectral/sb.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "spectral/embedding.h"
+#include "util/error.h"
+
+namespace specpart::spectral {
+
+part::Ordering fiedler_ordering(const graph::Graph& g, std::uint64_t seed,
+                                double* fiedler_value) {
+  EmbeddingOptions opts;
+  opts.count = 1;
+  opts.skip_trivial = true;
+  opts.seed = seed;
+  const EigenBasis basis = compute_eigenbasis(g, opts);
+  SP_REQUIRE(basis.dimension() >= 1, "fiedler_ordering: no Fiedler pair");
+  if (fiedler_value != nullptr) *fiedler_value = basis.values[0];
+  const linalg::Vec fiedler = basis.vectors.col(0);
+
+  part::Ordering order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              if (fiedler[a] != fiedler[b]) return fiedler[a] < fiedler[b];
+              return a < b;
+            });
+  return order;
+}
+
+SbResult spectral_bipartition(const graph::Hypergraph& h,
+                              const SbOptions& opts) {
+  const graph::Graph g = model::clique_expand(h, opts.net_model);
+  SbResult result;
+  result.ordering = fiedler_ordering(g, opts.seed, &result.fiedler_value);
+  result.split = opts.min_fraction > 0.0
+                     ? part::best_min_cut_split(h, result.ordering,
+                                                opts.min_fraction)
+                     : part::best_ratio_cut_split(h, result.ordering);
+  SP_REQUIRE(result.split.feasible, "SB: no feasible split exists");
+  result.partition = part::split_to_partition(result.ordering,
+                                              result.split.split);
+  return result;
+}
+
+}  // namespace specpart::spectral

@@ -1,0 +1,45 @@
+// Spectral bipartitioning (SB) — the classic single-eigenvector heuristic.
+//
+// Sorts vertices by their Fiedler-vector entry (second-smallest Laplacian
+// eigenvector of the clique-model graph) and splits the resulting linear
+// ordering, either at the best ratio-cut point over all splits (the RSB
+// setting) or at the minimum cut subject to a balance constraint (the
+// Table 5 setting). MELO with d = 1 non-trivial eigenvector degenerates to
+// exactly this ordering, which is the sense in which MELO extends SB.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/hypergraph.h"
+#include "model/clique_models.h"
+#include "part/ordering.h"
+#include "part/partition.h"
+
+namespace specpart::spectral {
+
+struct SbOptions {
+  model::NetModel net_model = model::NetModel::kPartitioningSpecific;
+  /// 0 = ratio-cut best split over all prefixes; > 0 = min-cut split with
+  /// both sides >= min_fraction * n (paper Table 5: 0.45).
+  double min_fraction = 0.0;
+  std::uint64_t seed = 0xFACADEULL;
+};
+
+struct SbResult {
+  part::Ordering ordering;
+  part::SplitResult split;
+  part::Partition partition;
+  /// lambda_2 of the clique-model Laplacian (algebraic connectivity).
+  double fiedler_value = 0.0;
+};
+
+/// The Fiedler ordering of a graph: vertices sorted by their entry in the
+/// second-smallest Laplacian eigenvector (ties broken by vertex id).
+part::Ordering fiedler_ordering(const graph::Graph& g, std::uint64_t seed,
+                                double* fiedler_value = nullptr);
+
+/// Full SB pipeline on a netlist: clique-expand, Fiedler ordering, split.
+SbResult spectral_bipartition(const graph::Hypergraph& h,
+                              const SbOptions& opts);
+
+}  // namespace specpart::spectral

@@ -1,0 +1,121 @@
+#include "spectral/sfc.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace specpart::spectral {
+
+namespace {
+
+/// Skilling's AxesToTranspose: converts lattice coordinates (bits each) to
+/// the Hilbert-curve "transpose" representation in place.
+void axes_to_transpose(std::vector<std::uint32_t>& x, unsigned bits) {
+  const std::size_t d = x.size();
+  if (d == 0 || bits == 0) return;
+  const std::uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (std::size_t i = 0; i < d; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (std::size_t i = 1; i < d; ++i) x[i] ^= x[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1)
+    if (x[d - 1] & q) t ^= q - 1;
+  for (std::size_t i = 0; i < d; ++i) x[i] ^= t;
+}
+
+/// Interleaves d coordinate words of `bits` bits each (MSB first) into a
+/// single 128-bit key. The transpose representation interleaved this way IS
+/// the Hilbert index.
+unsigned __int128 interleave(const std::vector<std::uint32_t>& x,
+                             unsigned bits) {
+  const std::size_t d = x.size();
+  SP_REQUIRE(static_cast<std::size_t>(bits) * d <= 128,
+             "spacefilling curve: d * bits exceeds 128-bit key");
+  unsigned __int128 key = 0;
+  for (unsigned b = bits; b-- > 0;) {
+    for (std::size_t i = 0; i < d; ++i) {
+      key = (key << 1) | ((x[i] >> b) & 1u);
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+unsigned __int128 hilbert_index(std::vector<std::uint32_t> coords,
+                                unsigned bits) {
+  axes_to_transpose(coords, bits);
+  return interleave(coords, bits);
+}
+
+unsigned __int128 morton_index(const std::vector<std::uint32_t>& coords,
+                               unsigned bits) {
+  return interleave(coords, bits);
+}
+
+part::Ordering curve_ordering(const linalg::DenseMatrix& embedding,
+                              CurveKind curve) {
+  const std::size_t n = embedding.rows();
+  const std::size_t d = std::max<std::size_t>(1, embedding.cols());
+  const unsigned bits =
+      static_cast<unsigned>(std::min<std::size_t>(16, 128 / d));
+
+  // Normalize each coordinate to [0, 2^bits) over its observed range.
+  std::vector<double> lo(d, 0.0), hi(d, 0.0);
+  for (std::size_t j = 0; j < embedding.cols(); ++j) {
+    lo[j] = hi[j] = embedding.at(0, j);
+    for (std::size_t i = 1; i < n; ++i) {
+      lo[j] = std::min(lo[j], embedding.at(i, j));
+      hi[j] = std::max(hi[j], embedding.at(i, j));
+    }
+  }
+  const double max_coord = static_cast<double>((1u << bits) - 1);
+  std::vector<unsigned __int128> keys(n);
+  std::vector<std::uint32_t> coords(d, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < embedding.cols(); ++j) {
+      const double span = hi[j] - lo[j];
+      const double unit =
+          span > 0.0 ? (embedding.at(i, j) - lo[j]) / span : 0.5;
+      coords[j] = static_cast<std::uint32_t>(unit * max_coord + 0.5);
+    }
+    keys[i] = curve == CurveKind::kHilbert
+                  ? hilbert_index(coords, bits)
+                  : morton_index(coords, bits);
+  }
+
+  part::Ordering order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              if (keys[a] != keys[b]) return keys[a] < keys[b];
+              return a < b;
+            });
+  return order;
+}
+
+part::Ordering sfc_ordering(const graph::Hypergraph& h,
+                            const SfcOptions& opts) {
+  const graph::Graph g = model::clique_expand(h, opts.net_model);
+  EmbeddingOptions eopts;
+  eopts.count = opts.dimensions;
+  eopts.skip_trivial = true;
+  eopts.seed = opts.seed;
+  const EigenBasis basis = compute_eigenbasis(g, eopts);
+  return curve_ordering(basis.vectors, opts.curve);
+}
+
+}  // namespace specpart::spectral

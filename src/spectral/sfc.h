@@ -1,0 +1,51 @@
+// SFC — spacefilling-curve orderings of the d-dimensional spectral
+// embedding (Alpert/Kahng [1]).
+//
+// The i-th entries of d Laplacian eigenvectors place vertex v_i in d-space;
+// a spacefilling curve through the embedding induces a linear ordering that
+// preserves spatial locality, which DP-RP then splits into a k-way
+// partitioning. We implement the d-dimensional Hilbert curve (Skilling's
+// transpose algorithm) and, as an ablation, the simpler Morton (Z-order)
+// curve.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/hypergraph.h"
+#include "model/clique_models.h"
+#include "part/ordering.h"
+#include "spectral/embedding.h"
+
+namespace specpart::spectral {
+
+enum class CurveKind { kHilbert, kMorton };
+
+struct SfcOptions {
+  model::NetModel net_model = model::NetModel::kPartitioningSpecific;
+  /// Embedding dimensions (non-trivial eigenvectors used). [1] reports
+  /// d in the 2-4 range works well.
+  std::size_t dimensions = 3;
+  CurveKind curve = CurveKind::kHilbert;
+  std::uint64_t seed = 0x5FC123ULL;
+};
+
+/// Maps a point on the integer lattice [0, 2^bits)^d to its index along the
+/// d-dimensional Hilbert curve. `coords.size()` = d; requires
+/// d * bits <= 128. Exposed for direct use and property tests.
+unsigned __int128 hilbert_index(std::vector<std::uint32_t> coords,
+                                unsigned bits);
+
+/// Morton (bit-interleave) index of the same lattice point.
+unsigned __int128 morton_index(const std::vector<std::uint32_t>& coords,
+                               unsigned bits);
+
+/// Orders the rows of an n-by-d embedding along the chosen curve
+/// (coordinates are normalized to the lattice internally).
+part::Ordering curve_ordering(const linalg::DenseMatrix& embedding,
+                              CurveKind curve);
+
+/// Full SFC ordering of a netlist: clique-expand, embed with
+/// `opts.dimensions` non-trivial eigenvectors, order along the curve.
+part::Ordering sfc_ordering(const graph::Hypergraph& h, const SfcOptions& opts);
+
+}  // namespace specpart::spectral

@@ -1,0 +1,16 @@
+#include "util/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace specpart::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "%s:%d: assertion failed: %s", file, line, expr);
+  if (!msg.empty()) std::fprintf(stderr, " (%s)", msg.c_str());
+  std::fprintf(stderr, "\n");
+  std::abort();
+}
+
+}  // namespace specpart::detail

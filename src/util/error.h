@@ -1,0 +1,49 @@
+// Error handling primitives for specpart.
+//
+// Two categories of failure are distinguished throughout the library:
+//  * Recoverable input errors (malformed netlist file, infeasible balance
+//    constraint, ...) throw specpart::Error so callers can report and retry.
+//  * Contract violations (indices out of range, broken invariants) abort via
+//    SP_ASSERT / SP_REQUIRE; they indicate a bug, not bad input.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace specpart {
+
+/// Exception type for all recoverable errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Prints "<file>:<line>: assertion failed: <expr> (<msg>)" and aborts.
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace specpart
+
+/// Always-on contract check (enabled in release builds too: partitioning
+/// bugs are silent quality bugs otherwise).
+#define SP_ASSERT(cond)                                                     \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::specpart::detail::assert_fail(#cond, __FILE__, __LINE__, "");       \
+  } while (0)
+
+/// Contract check with an explanatory message (any streamable expression).
+#define SP_REQUIRE(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::specpart::detail::assert_fail(#cond, __FILE__, __LINE__, (msg));    \
+  } while (0)
+
+/// Throws specpart::Error with the given message when `cond` is false.
+/// For validating *input* (files, user-supplied parameters).
+#define SP_CHECK_INPUT(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) throw ::specpart::Error(msg);                              \
+  } while (0)

@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library (synthetic benchmark generator,
+// multi-start FM, tie-breaking) draw from Rng, a xoshiro256** generator
+// seeded through splitmix64. Identical seeds give identical streams on every
+// platform, which makes experiments and tests reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace specpart {
+
+/// xoshiro256** PRNG (Blackman & Vigna). Fast, high quality, 2^256-1 period.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased (rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Standard normal variate (Marsaglia polar method).
+  double next_normal();
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p = 0.5);
+
+  /// Fisher-Yates shuffle of an index-addressable container.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples an index from a discrete distribution given non-negative
+  /// weights. Requires at least one strictly positive weight.
+  std::size_t next_weighted(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// splitmix64 step; used for seeding and for cheap hash mixing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace specpart

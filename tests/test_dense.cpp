@@ -1,0 +1,124 @@
+// Tests for dense vectors/matrices (linalg/dense.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/dense.h"
+#include "util/rng.h"
+
+namespace specpart::linalg {
+namespace {
+
+TEST(VecOps, DotAndNorm) {
+  const Vec a{1, 2, 3};
+  const Vec b{4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4 - 10 + 18);
+  EXPECT_DOUBLE_EQ(norm_sq(a), 14.0);
+  EXPECT_DOUBLE_EQ(norm(a), std::sqrt(14.0));
+}
+
+TEST(VecOps, Axpy) {
+  Vec y{1, 1, 1};
+  const Vec x{1, 2, 3};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+}
+
+TEST(VecOps, ScaleAndNormalize) {
+  Vec x{3, 4};
+  EXPECT_DOUBLE_EQ(normalize(x), 5.0);
+  EXPECT_NEAR(norm(x), 1.0, 1e-15);
+  Vec zero{0, 0};
+  EXPECT_DOUBLE_EQ(normalize(zero), 0.0);  // untouched, no NaN
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+}
+
+TEST(VecOps, AddSub) {
+  const Vec a{1, 2}, b{3, 5};
+  EXPECT_DOUBLE_EQ(add(a, b)[1], 7.0);
+  EXPECT_DOUBLE_EQ(sub(b, a)[0], 2.0);
+}
+
+TEST(DenseMatrix, IdentityMatvec) {
+  const DenseMatrix eye = DenseMatrix::identity(3);
+  const Vec x{1, 2, 3};
+  const Vec y = eye.matvec(x);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(DenseMatrix, MatvecKnown) {
+  DenseMatrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(0, 2) = 3;
+  m.at(1, 0) = 4;
+  m.at(1, 1) = 5;
+  m.at(1, 2) = 6;
+  const Vec y = m.matvec({1, 1, 1});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  const Vec z = m.matvec_transposed({1, 1});
+  EXPECT_DOUBLE_EQ(z[0], 5.0);
+  EXPECT_DOUBLE_EQ(z[2], 9.0);
+}
+
+TEST(DenseMatrix, RowColRoundTrip) {
+  DenseMatrix m(3, 2);
+  m.at(1, 0) = 7;
+  m.at(1, 1) = 8;
+  const Vec r = m.row(1);
+  EXPECT_DOUBLE_EQ(r[0], 7.0);
+  EXPECT_DOUBLE_EQ(r[1], 8.0);
+  m.set_col(0, Vec{9, 10, 11});
+  EXPECT_DOUBLE_EQ(m.col(0)[2], 11.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 10.0);
+}
+
+TEST(DenseMatrix, MultiplyAgainstManual) {
+  DenseMatrix a(2, 2), b(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  const DenseMatrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(DenseMatrix, TransposeInvolution) {
+  Rng rng(5);
+  DenseMatrix m(4, 3);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 3; ++j) m.at(i, j) = rng.next_normal();
+  const DenseMatrix mt = m.transposed();
+  EXPECT_EQ(mt.rows(), 3u);
+  EXPECT_EQ(mt.cols(), 4u);
+  EXPECT_DOUBLE_EQ(m.max_abs_diff(mt.transposed()), 0.0);
+}
+
+TEST(DenseMatrix, FrobeniusNorm) {
+  DenseMatrix m(2, 2);
+  m.at(0, 0) = 3;
+  m.at(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.frobenius(), 5.0);
+}
+
+TEST(DenseMatrix, MultiplyAssociativeWithIdentity) {
+  Rng rng(9);
+  DenseMatrix m(5, 5);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j) m.at(i, j) = rng.next_normal();
+  const DenseMatrix eye = DenseMatrix::identity(5);
+  EXPECT_LT(m.multiply(eye).max_abs_diff(m), 1e-15);
+  EXPECT_LT(eye.multiply(m).max_abs_diff(m), 1e-15);
+}
+
+}  // namespace
+}  // namespace specpart::linalg

@@ -1,0 +1,220 @@
+// Edge-case and failure-injection tests across modules: tiny inputs,
+// degenerate structures, weighted nets in every pipeline stage, and
+// pathological-but-legal configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "core/drivers.h"
+#include "graph/generator.h"
+#include "graph/netlist_io.h"
+#include "linalg/tridiagonal.h"
+#include "part/fm.h"
+#include "part/objectives.h"
+#include "part/ordering.h"
+#include "spectral/dprp.h"
+#include "spectral/embedding.h"
+#include "spectral/sb.h"
+#include "util/error.h"
+
+namespace specpart {
+namespace {
+
+// --- Tiny instances -------------------------------------------------------
+
+TEST(EdgeCases, TwoVertexNetlistBipartitions) {
+  graph::Hypergraph h(2, {{0, 1}});
+  core::MeloOptions m;
+  m.num_eigenvectors = 2;
+  const auto r = core::melo_bipartition(h, m, 0.45);
+  EXPECT_EQ(r.partition.cluster_size(0), 1u);
+  EXPECT_EQ(r.partition.cluster_size(1), 1u);
+  EXPECT_DOUBLE_EQ(r.cut, 1.0);
+}
+
+TEST(EdgeCases, ThreeVertexPathAllAlgorithms) {
+  graph::Hypergraph h(3, {{0, 1}, {1, 2}});
+  spectral::SbOptions so;
+  const auto sb = spectral::spectral_bipartition(h, so);
+  EXPECT_EQ(sb.partition.num_nonempty(), 2u);
+  core::MeloOptions m;
+  m.num_eigenvectors = 3;
+  m.dense_threshold = 10;
+  EXPECT_EQ(core::melo_bipartition(h, m).partition.num_nonempty(), 2u);
+}
+
+TEST(EdgeCases, StarNetlist) {
+  // One hub vertex on every net: spectrally nasty (hub dominates).
+  std::vector<std::vector<graph::NodeId>> nets;
+  for (graph::NodeId i = 1; i < 12; ++i) nets.push_back({0, i});
+  graph::Hypergraph h(12, std::move(nets));
+  core::MeloOptions m;
+  const auto r = core::melo_bipartition(h, m, 0.4);
+  EXPECT_TRUE(part::is_permutation(r.ordering, 12));
+  EXPECT_GE(r.partition.cluster_size(0), 4u);
+}
+
+TEST(EdgeCases, CompleteNetOverEverything) {
+  // A single net containing all vertices: every bipartition cuts it.
+  graph::Hypergraph h(8, {{0, 1, 2, 3, 4, 5, 6, 7}, {0, 1}, {6, 7}});
+  core::MeloOptions m;
+  const auto r = core::melo_bipartition(h, m, 0.45);
+  EXPECT_DOUBLE_EQ(r.cut, 1.0);  // only the big net is cut
+}
+
+// --- Weighted nets through the whole stack ---------------------------------
+
+TEST(EdgeCases, WeightedNetsFlowThroughMelo) {
+  // Heavy net binds {0,1}; cutting it must be avoided.
+  graph::Hypergraph h(6,
+                      {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}},
+                      {50.0, 1.0, 1.0, 1.0, 1.0, 1.0});
+  core::MeloOptions m;
+  m.num_eigenvectors = 4;
+  m.dense_threshold = 10;
+  const auto r = core::melo_bipartition(h, m, 1.0 / 3.0);
+  EXPECT_EQ(r.partition.cluster_of(0), r.partition.cluster_of(1));
+}
+
+TEST(EdgeCases, WeightedNetsInDprp) {
+  graph::Hypergraph h(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}},
+                      {1.0, 1.0, 9.0, 1.0, 1.0});
+  part::Ordering o(6);
+  std::iota(o.begin(), o.end(), 0u);
+  spectral::DprpOptions opts;
+  opts.k = 2;
+  const auto r = spectral::dprp_split(h, o, opts);
+  // The DP must avoid cutting the heavy net {2,3}.
+  EXPECT_NE(r.boundaries[1], 3u);
+}
+
+TEST(EdgeCases, WeightedVertexFmBalance) {
+  // One elephant vertex (weight 4 of 8 total) among mice: bounds must bind
+  // on weight, not count — the count-balanced 2/3 split would violate them.
+  graph::Hypergraph h(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  part::FmOptions opts;
+  opts.vertex_weights = {4.0, 1.0, 1.0, 1.0, 1.0};
+  opts.balance = {0.30, 0.70};
+  const auto r = part::fm_bipartition(h, opts);
+  double w[2] = {0.0, 0.0};
+  for (graph::NodeId v = 0; v < 5; ++v)
+    w[r.partition.cluster_of(v)] += opts.vertex_weights[v];
+  const double total = 8.0;
+  EXPECT_GE(w[0], 0.30 * total - 1e-9);
+  EXPECT_LE(w[0], 0.70 * total + 1e-9);
+}
+
+// --- Degenerate spectra ----------------------------------------------------
+
+TEST(EdgeCases, DisconnectedNetlistStillOrders) {
+  // Two components: lambda_2 = 0; the embedding separates components.
+  graph::Hypergraph h(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  core::MeloOptions m;
+  m.num_eigenvectors = 3;
+  m.dense_threshold = 10;
+  const auto runs = core::melo_orderings(h, m);
+  EXPECT_TRUE(part::is_permutation(runs[0].ordering, 6));
+  // A min-cut balanced split must cut zero nets.
+  const auto split = part::best_min_cut_split(h, runs[0].ordering, 0.5);
+  ASSERT_TRUE(split.feasible);
+  EXPECT_DOUBLE_EQ(split.cut, 0.0);
+}
+
+TEST(EdgeCases, CompleteGraphUniformSpectrum) {
+  // K_n Laplacian: eigenvalues {0, n, ..., n} — maximal degeneracy.
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId i = 0; i < 10; ++i)
+    for (graph::NodeId j = i + 1; j < 10; ++j) edges.push_back({i, j, 1.0});
+  const graph::Graph g(10, edges);
+  spectral::EmbeddingOptions opts;
+  opts.count = 4;
+  opts.dense_threshold = 100;
+  const auto basis = spectral::compute_eigenbasis(g, opts);
+  EXPECT_NEAR(basis.values[0], 0.0, 1e-9);
+  for (std::size_t j = 1; j < 4; ++j)
+    EXPECT_NEAR(basis.values[j], 10.0, 1e-8);
+}
+
+TEST(EdgeCases, TridiagonalAllZeros) {
+  linalg::Tridiagonal t{{0.0, 0.0, 0.0}, {0.0, 0.0, 0.0}};
+  const auto values = linalg::tridiagonal_eigenvalues(std::move(t));
+  for (double v : values) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// --- Generator extremes -----------------------------------------------------
+
+TEST(EdgeCases, GeneratorAllGlobalNets) {
+  graph::GeneratorConfig cfg;
+  cfg.num_modules = 60;
+  cfg.num_nets = 80;
+  cfg.p_subcluster = 0.0;
+  cfg.p_cluster = 0.0;  // every net global
+  cfg.seed = 3;
+  const auto h = graph::generate_netlist(cfg);
+  EXPECT_TRUE(h.connected());
+  EXPECT_EQ(h.num_nodes(), 60u);
+}
+
+TEST(EdgeCases, GeneratorAllLocalNets) {
+  graph::GeneratorConfig cfg;
+  cfg.num_modules = 60;
+  cfg.num_nets = 90;
+  cfg.p_subcluster = 1.0;
+  cfg.p_cluster = 0.0;  // every net inside one subcluster
+  cfg.seed = 4;
+  const auto h = graph::generate_netlist(cfg);
+  EXPECT_TRUE(h.connected());  // repair nets added
+}
+
+TEST(EdgeCases, GeneratorSingleCluster) {
+  graph::GeneratorConfig cfg;
+  cfg.num_modules = 40;
+  cfg.num_nets = 50;
+  cfg.num_clusters = 1;
+  cfg.subclusters_per_cluster = 1;
+  cfg.seed = 5;
+  const auto h = graph::generate_netlist(cfg);
+  EXPECT_EQ(h.num_nodes(), 40u);
+  const auto planted = graph::planted_clusters(cfg);
+  for (auto c : planted) EXPECT_EQ(c, 0u);
+}
+
+// --- I/O edge cases ----------------------------------------------------------
+
+TEST(EdgeCases, HgrSingleNet) {
+  std::istringstream in("1 2\n1 2\n");
+  const auto h = graph::read_hgr(in);
+  EXPECT_EQ(h.num_nets(), 1u);
+  EXPECT_TRUE(h.connected());
+}
+
+TEST(EdgeCases, HgrPinRepeatedInFile) {
+  std::istringstream in("1 3\n1 1 2 3\n");
+  const auto h = graph::read_hgr(in);
+  EXPECT_EQ(h.net(0).size(), 3u);  // duplicate pin merged
+}
+
+// --- Split sweeps at the boundary -------------------------------------------
+
+TEST(EdgeCases, MinFractionExactlyHalf) {
+  graph::Hypergraph h(4, {{0, 1}, {1, 2}, {2, 3}});
+  part::Ordering o{0, 1, 2, 3};
+  const auto s = part::best_min_cut_split(h, o, 0.5);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.split, 2u);
+}
+
+TEST(EdgeCases, RatioSplitSingletonAllowed) {
+  // Unconstrained ratio cut may pick a singleton side when it is best.
+  graph::Hypergraph h(5, {{1, 2}, {2, 3}, {3, 4}, {1, 4}, {0, 1}});
+  part::Ordering o{0, 1, 2, 3, 4};
+  const auto s = part::best_ratio_cut_split(h, o);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.split, 1u);  // vertex 0 hangs by one net
+  EXPECT_DOUBLE_EQ(s.cut, 1.0);
+}
+
+}  // namespace
+}  // namespace specpart

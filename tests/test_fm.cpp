@@ -1,0 +1,130 @@
+// Tests for the Fiduccia-Mattheyses bipartitioner.
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "part/fm.h"
+#include "part/objectives.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace specpart::part {
+namespace {
+
+/// Two planted blocks of `half` vertices joined by `bridges` 2-pin nets.
+graph::Hypergraph planted_bipartition(std::size_t half, std::size_t bridges,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<graph::NodeId>> nets;
+  auto add_intra = [&](graph::NodeId base) {
+    for (std::size_t e = 0; e < half * 3; ++e) {
+      const auto u = base + static_cast<graph::NodeId>(rng.next_below(half));
+      const auto v = base + static_cast<graph::NodeId>(rng.next_below(half));
+      if (u != v) nets.push_back({u, v});
+    }
+    // Ring for guaranteed connectivity.
+    for (graph::NodeId i = 0; i < half; ++i)
+      nets.push_back({base + i, base + (i + 1) % static_cast<graph::NodeId>(half)});
+  };
+  add_intra(0);
+  add_intra(static_cast<graph::NodeId>(half));
+  for (std::size_t b = 0; b < bridges; ++b) {
+    nets.push_back({static_cast<graph::NodeId>(rng.next_below(half)),
+                    static_cast<graph::NodeId>(half + rng.next_below(half))});
+  }
+  return graph::Hypergraph(2 * half, std::move(nets));
+}
+
+TEST(Fm, RefineNeverWorsensCut) {
+  const graph::Hypergraph h = planted_bipartition(30, 6, 1);
+  Rng rng(2);
+  std::vector<std::uint32_t> assignment(h.num_nodes());
+  for (auto& a : assignment) a = rng.next_bool() ? 1 : 0;
+  const Partition init(assignment, 2);
+  const double before = cut_nets(h, init);
+  FmOptions opts;
+  opts.balance = {0.3, 0.7};
+  const FmResult r = fm_refine(h, init, opts);
+  EXPECT_LE(r.cut, before);
+  EXPECT_DOUBLE_EQ(r.cut, cut_nets(h, r.partition));
+}
+
+TEST(Fm, FindsPlantedBipartition) {
+  const graph::Hypergraph h = planted_bipartition(40, 4, 3);
+  FmOptions opts;
+  opts.num_starts = 8;
+  const FmResult r = fm_bipartition(h, opts);
+  // The planted cut is 4; FM should find it (or get very close).
+  EXPECT_LE(r.cut, 6.0);
+}
+
+TEST(Fm, RespectsBalance) {
+  const graph::Hypergraph h = planted_bipartition(25, 10, 5);
+  FmOptions opts;
+  opts.balance = {0.45, 0.55};
+  const FmResult r = fm_bipartition(h, opts);
+  EXPECT_TRUE(opts.balance.satisfied(r.partition));
+}
+
+TEST(Fm, DeterministicForFixedSeed) {
+  const graph::Hypergraph h = planted_bipartition(20, 5, 7);
+  FmOptions opts;
+  opts.seed = 99;
+  const FmResult a = fm_bipartition(h, opts);
+  const FmResult b = fm_bipartition(h, opts);
+  EXPECT_EQ(a.partition.assignment(), b.partition.assignment());
+  EXPECT_DOUBLE_EQ(a.cut, b.cut);
+}
+
+TEST(Fm, RefineRequiresBipartition) {
+  const graph::Hypergraph h = planted_bipartition(5, 1, 1);
+  Partition p(h.num_nodes(), 3);
+  EXPECT_DEATH(fm_refine(h, p, FmOptions{}), "bipartition");
+}
+
+TEST(Fm, WeightedNetsPreferred) {
+  // Heavy net {0,1} vs light nets; FM must keep 0 and 1 together.
+  graph::Hypergraph h(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, {10, 1, 1, 1});
+  FmOptions opts;
+  opts.balance = {0.5, 0.5};
+  opts.num_starts = 4;
+  const FmResult r = fm_bipartition(h, opts);
+  EXPECT_EQ(r.partition.cluster_of(0), r.partition.cluster_of(1));
+  EXPECT_DOUBLE_EQ(r.cut, 2.0);
+}
+
+TEST(Fm, HandlesMultiPinNets) {
+  graph::Hypergraph h(6, {{0, 1, 2}, {3, 4, 5}, {2, 3}});
+  FmOptions opts;
+  // Note: an exact-halves constraint would freeze FM (any single move
+  // violates it); a window leaves room to move.
+  opts.balance = {1.0 / 3.0, 2.0 / 3.0};
+  opts.num_starts = 4;
+  const FmResult r = fm_bipartition(h, opts);
+  EXPECT_DOUBLE_EQ(r.cut, 1.0);  // only the bridging net {2,3} is cut
+}
+
+TEST(Fm, TinyInstanceRejected) {
+  graph::Hypergraph h(1, {});
+  EXPECT_THROW(fm_bipartition(h, FmOptions{}), Error);
+}
+
+TEST(Fm, ImprovesOnGeneratedCircuit) {
+  graph::GeneratorConfig cfg;
+  cfg.num_modules = 200;
+  cfg.num_nets = 220;
+  cfg.num_clusters = 2;
+  cfg.subclusters_per_cluster = 2;
+  cfg.seed = 11;
+  const graph::Hypergraph h = graph::generate_netlist(cfg);
+  Rng rng(3);
+  std::vector<std::uint32_t> assignment(h.num_nodes());
+  for (std::size_t i = 0; i < assignment.size(); ++i)
+    assignment[i] = i % 2;  // interleaved start: terrible cut
+  const Partition init(assignment, 2);
+  const double before = cut_nets(h, init);
+  const FmResult r = fm_refine(h, init, FmOptions{});
+  EXPECT_LT(r.cut, 0.7 * before);
+}
+
+}  // namespace
+}  // namespace specpart::part

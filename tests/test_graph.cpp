@@ -1,0 +1,104 @@
+// Tests for the weighted undirected Graph.
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/laplacian.h"
+
+namespace specpart::graph {
+namespace {
+
+TEST(Graph, MergesParallelEdges) {
+  Graph g(3, {{0, 1, 1.0}, {1, 0, 2.0}, {1, 2, 3.0}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 6.0);
+  EXPECT_DOUBLE_EQ(g.degree(1), 6.0);
+  EXPECT_DOUBLE_EQ(g.degree(0), 3.0);
+}
+
+TEST(Graph, DropsSelfLoops) {
+  Graph g(2, {{0, 0, 5.0}, {0, 1, 1.0}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.degree(0), 1.0);
+}
+
+TEST(Graph, EdgesCanonicalized) {
+  Graph g(3, {{2, 0, 1.0}});
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edges()[0].u, 0u);
+  EXPECT_EQ(g.edges()[0].v, 2u);
+}
+
+TEST(Graph, AdjacencyIteration) {
+  Graph g(4, {{0, 1, 1.0}, {0, 2, 2.0}, {0, 3, 3.0}});
+  double sum = 0.0;
+  int count = 0;
+  for (std::size_t s = g.adjacency_begin(0); s < g.adjacency_end(0); ++s) {
+    sum += g.neighbour(s).weight;
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(sum, 6.0);
+  EXPECT_EQ(g.adjacency_end(1) - g.adjacency_begin(1), 1u);
+}
+
+TEST(Graph, Components) {
+  Graph g(6, {{0, 1, 1.0}, {1, 2, 1.0}, {3, 4, 1.0}});
+  EXPECT_EQ(g.num_components(), 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_FALSE(g.connected());
+  const auto labels = g.component_labels();
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[3], labels[5]);
+}
+
+TEST(Graph, ConnectedGraph) {
+  Graph g(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.num_components(), 1u);
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g(0, {});
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, InducedSubgraph) {
+  Graph g(5, {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}, {3, 4, 4.0}, {0, 4, 5.0}});
+  const Graph sub = g.induced_subgraph({1, 2, 3});
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);  // (1,2) and (2,3) survive
+  EXPECT_DOUBLE_EQ(sub.total_edge_weight(), 5.0);
+  // Vertex i of sub = nodes[i]: edge (0,1) in sub is old (1,2) weight 2.
+  EXPECT_DOUBLE_EQ(sub.degree(0), 2.0);
+}
+
+TEST(Laplacian, RowSumsZero) {
+  Graph g(4, {{0, 1, 1.5}, {1, 2, 2.5}, {2, 3, 0.5}, {0, 3, 1.0}});
+  const auto q = build_laplacian(g);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < 4; ++j) row += q.at(i, j);
+    EXPECT_NEAR(row, 0.0, 1e-15);
+  }
+  EXPECT_DOUBLE_EQ(q.at(0, 0), g.degree(0));
+  EXPECT_DOUBLE_EQ(q.at(0, 1), -1.5);
+}
+
+TEST(Laplacian, TraceEqualsTwiceTotalWeight) {
+  Graph g(4, {{0, 1, 1.5}, {1, 2, 2.5}, {2, 3, 0.5}});
+  const auto q = build_laplacian(g);
+  EXPECT_DOUBLE_EQ(q.trace(), 2.0 * g.total_edge_weight());
+}
+
+TEST(Adjacency, MatchesEdges) {
+  Graph g(3, {{0, 1, 2.0}, {1, 2, 3.0}});
+  const auto a = build_adjacency(g);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace specpart::graph

@@ -1,0 +1,112 @@
+// Tests for the Hypergraph netlist representation.
+#include <gtest/gtest.h>
+
+#include "graph/hypergraph.h"
+
+namespace specpart::graph {
+namespace {
+
+Hypergraph small() {
+  // 5 vertices, nets: {0,1,2}, {2,3}, {3,4}, {0,4}
+  return Hypergraph(5, {{0, 1, 2}, {2, 3}, {3, 4}, {0, 4}});
+}
+
+TEST(Hypergraph, BasicCounts) {
+  const Hypergraph h = small();
+  EXPECT_EQ(h.num_nodes(), 5u);
+  EXPECT_EQ(h.num_nets(), 4u);
+  EXPECT_EQ(h.num_pins(), 9u);
+  EXPECT_EQ(h.max_net_size(), 3u);
+}
+
+TEST(Hypergraph, DuplicatePinsMerged) {
+  Hypergraph h(3, {{0, 1, 1, 0, 2}});
+  EXPECT_EQ(h.net(0).size(), 3u);
+  EXPECT_EQ(h.num_pins(), 3u);
+}
+
+TEST(Hypergraph, NetsOfVertex) {
+  const Hypergraph h = small();
+  const auto& nets0 = h.nets_of(0);
+  ASSERT_EQ(nets0.size(), 2u);
+  EXPECT_EQ(h.node_degree(3), 2u);
+  EXPECT_EQ(h.node_degree(2), 2u);
+}
+
+TEST(Hypergraph, DefaultWeightsAreOne) {
+  const Hypergraph h = small();
+  for (NetId e = 0; e < h.num_nets(); ++e)
+    EXPECT_DOUBLE_EQ(h.net_weight(e), 1.0);
+}
+
+TEST(Hypergraph, ExplicitWeights) {
+  Hypergraph h(3, {{0, 1}, {1, 2}}, {2.5, 0.5});
+  EXPECT_DOUBLE_EQ(h.net_weight(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.net_weight(1), 0.5);
+}
+
+TEST(Hypergraph, Connectivity) {
+  EXPECT_TRUE(small().connected());
+  Hypergraph split(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(split.connected());
+  Hypergraph isolated(3, {{0, 1}});  // vertex 2 untouched
+  EXPECT_FALSE(isolated.connected());
+  EXPECT_TRUE(Hypergraph(1, {}).connected());
+}
+
+TEST(Hypergraph, Induced) {
+  const Hypergraph h = small();
+  const Hypergraph sub = h.induced({0, 1, 2});
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  // Only net {0,1,2} survives in full; {2,3} loses pin 3 -> 1 pin dropped.
+  EXPECT_EQ(sub.num_nets(), 1u);
+  EXPECT_EQ(sub.net(0).size(), 3u);
+}
+
+TEST(Hypergraph, InducedRemapsIds) {
+  const Hypergraph h = small();
+  const Hypergraph sub = h.induced({3, 4});
+  ASSERT_EQ(sub.num_nets(), 1u);  // old net {3,4} -> new {0,1}
+  EXPECT_EQ(sub.net(0)[0], 0u);
+  EXPECT_EQ(sub.net(0)[1], 1u);
+}
+
+TEST(Hypergraph, InducedStrictDropsPartialNets) {
+  const Hypergraph h = small();
+  // Nodes {0,1,2}: net {0,1,2} is fully inside; {0,4} and {2,3} are not.
+  const Hypergraph strict = h.induced_strict({0, 1, 2});
+  EXPECT_EQ(strict.num_nets(), 1u);
+  EXPECT_EQ(strict.net(0).size(), 3u);
+  // The loose variant keeps the 2-pin fragment of nothing extra here, but
+  // differs on {2,3,4}: {2,3} and {3,4} are complete, {0,1,2} is partial.
+  const Hypergraph loose = h.induced({2, 3, 4});
+  const Hypergraph strict2 = h.induced_strict({2, 3, 4});
+  EXPECT_EQ(loose.num_nets(), 2u);
+  EXPECT_EQ(strict2.num_nets(), 2u);
+  const Hypergraph strict3 = h.induced_strict({0, 1, 4});
+  EXPECT_EQ(strict3.num_nets(), 1u);  // only {0,4} survives strictly
+}
+
+TEST(Hypergraph, NodeNames) {
+  Hypergraph h(2, {{0, 1}});
+  h.set_node_names({"a0", "p1"});
+  EXPECT_EQ(h.node_names()[1], "p1");
+}
+
+TEST(Hypergraph, ToHypergraphFromGraph) {
+  Graph g(3, {{0, 1, 2.0}, {1, 2, 3.0}});
+  const Hypergraph h = to_hypergraph(g);
+  EXPECT_EQ(h.num_nodes(), 3u);
+  EXPECT_EQ(h.num_nets(), 2u);
+  EXPECT_EQ(h.net(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(h.net_weight(0) + h.net_weight(1), 5.0);
+}
+
+TEST(Hypergraph, SinglePinNetKept) {
+  Hypergraph h(2, {{0}, {0, 1}});
+  EXPECT_EQ(h.num_nets(), 2u);
+  EXPECT_EQ(h.net(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace specpart::graph

@@ -1,0 +1,174 @@
+// End-to-end integration tests: full pipelines on generated benchmarks,
+// cross-algorithm consistency, and the paper's qualitative claims in
+// miniature.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/drivers.h"
+#include "exp/runners.h"
+#include "exp/suite.h"
+#include "graph/netlist_io.h"
+#include "part/fm.h"
+#include "part/objectives.h"
+#include "spectral/dprp.h"
+#include "spectral/kp.h"
+#include "spectral/rsb.h"
+#include "spectral/sb.h"
+#include "spectral/sfc.h"
+#include "util/error.h"
+
+namespace specpart {
+namespace {
+
+exp::Benchmark small_benchmark() {
+  auto suite = exp::paper_suite(0.25, 1);  // balu at quarter scale (~200)
+  return suite.front();
+}
+
+TEST(Integration, AllAlgorithmsProduceValidPartitions) {
+  const graph::Hypergraph h = exp::load(small_benchmark());
+  const std::uint32_t k = 4;
+
+  const part::Partition rsb =
+      spectral::rsb_partition(h, k, spectral::RsbOptions{});
+  const part::Partition kp = spectral::kp_partition(h, k, spectral::KpOptions{});
+  spectral::DprpOptions dpo;
+  dpo.k = k;
+  const part::Partition sfc =
+      spectral::dprp_split(h, spectral::sfc_ordering(h, spectral::SfcOptions{}),
+                           dpo)
+          .partition;
+  const part::Partition melo =
+      core::melo_multiway(h, k, core::MeloOptions{}).partition;
+
+  for (const part::Partition* p : {&rsb, &kp, &sfc, &melo}) {
+    EXPECT_EQ(p->num_nodes(), h.num_nodes());
+    EXPECT_EQ(p->k(), k);
+    EXPECT_EQ(p->num_nonempty(), k);
+    EXPECT_TRUE(std::isfinite(part::scaled_cost(h, *p)));
+  }
+}
+
+TEST(Integration, MeloBeatsSbOnBalancedCutAcrossSeeds) {
+  // The titular claim over several suite instances: MELO (d = 10) balanced
+  // cut <= SB balanced cut, allowing a tiny tolerance, and strictly better
+  // somewhere.
+  std::size_t strictly_better = 0;
+  std::size_t compared = 0;
+  for (const auto& b : exp::paper_suite(0.4, 3)) {
+    const graph::Hypergraph h = exp::load(b);
+    spectral::SbOptions so;
+    so.min_fraction = 0.45;
+    const double sb_cut =
+        part::cut_nets(h, spectral::spectral_bipartition(h, so).partition);
+    core::MeloOptions m;
+    m.num_starts = 3;
+    const double melo_cut = core::melo_bipartition(h, m, 0.45).cut;
+    EXPECT_LE(melo_cut, sb_cut * 1.10 + 1e-9) << b.name;
+    if (melo_cut < sb_cut - 1e-9) ++strictly_better;
+    ++compared;
+  }
+  EXPECT_GE(compared, 3u);
+  EXPECT_GE(strictly_better, 1u);
+}
+
+TEST(Integration, MoreEigenvectorsHelpOnBalancedCut) {
+  const auto suite = exp::paper_suite(0.5, 2);
+  for (const auto& b : suite) {
+    const graph::Hypergraph h = exp::load(b);
+    double cut_d2 = 0.0, cut_d12 = 0.0;
+    for (std::size_t d : {std::size_t{2}, std::size_t{12}}) {
+      core::MeloOptions m;
+      m.num_eigenvectors = d;
+      m.num_starts = 2;
+      const double c = core::melo_bipartition(h, m, 0.45).cut;
+      (d == 2 ? cut_d2 : cut_d12) = c;
+    }
+    EXPECT_LE(cut_d12, cut_d2 * 1.05 + 1e-9) << b.name;
+  }
+}
+
+TEST(Integration, PipelineThroughFileIo) {
+  // Generate -> serialize -> parse -> partition: identical results.
+  const graph::Hypergraph h = exp::load(small_benchmark());
+  std::ostringstream out;
+  graph::write_hgr(h, out);
+  std::istringstream in(out.str());
+  const graph::Hypergraph h2 = graph::read_hgr(in);
+
+  core::MeloOptions m;
+  const auto a = core::melo_bipartition(h, m, 0.45);
+  const auto b = core::melo_bipartition(h2, m, 0.45);
+  EXPECT_EQ(a.partition.assignment(), b.partition.assignment());
+  EXPECT_DOUBLE_EQ(a.cut, b.cut);
+}
+
+TEST(Integration, FmRefinesMeloPartition) {
+  // MELO + FM post-refinement (the classic hybrid): never worse than MELO.
+  const graph::Hypergraph h = exp::load(small_benchmark());
+  core::MeloOptions m;
+  const auto melo = core::melo_bipartition(h, m, 0.45);
+  part::FmOptions fo;
+  const auto refined = part::fm_refine(h, melo.partition, fo);
+  EXPECT_LE(refined.cut, melo.cut + 1e-9);
+}
+
+TEST(Integration, RunnersProduceTables) {
+  exp::RunnerOptions opts;
+  opts.scale = 0.15;
+  opts.limit = 2;
+  const exp::Table t1 = exp::run_table1(opts);
+  EXPECT_EQ(t1.num_rows(), 2u);
+  const exp::Table t2 = exp::run_table2_schemes(opts, 6);
+  EXPECT_EQ(t2.num_rows(), 2u);
+  const exp::Table t3 = exp::run_table3_dims(opts, {2, 6});
+  EXPECT_EQ(t3.num_rows(), 2u);
+  exp::Table4Summary summary;
+  const exp::Table t4 = exp::run_table4_multiway(opts, {2, 4}, &summary);
+  EXPECT_EQ(t4.num_rows(), 4u);
+  EXPECT_EQ(summary.rows, 4u);
+  const exp::Table t5 = exp::run_table5_bipart(opts);
+  EXPECT_EQ(t5.num_rows(), 2u);
+}
+
+TEST(Integration, TablePrintingIsWellFormed) {
+  exp::RunnerOptions opts;
+  opts.scale = 0.15;
+  opts.limit = 1;
+  const exp::Table t = exp::run_table1(opts);
+  std::ostringstream text, csv;
+  t.print(text);
+  t.print_csv(csv);
+  EXPECT_NE(text.str().find("benchmark"), std::string::npos);
+  EXPECT_NE(csv.str().find("benchmark,"), std::string::npos);
+  // CSV has header + one row.
+  std::size_t lines = 0;
+  for (char c : csv.str())
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(Integration, SuiteIsDeterministic) {
+  const auto a = exp::paper_suite(0.3, 0);
+  const auto b = exp::paper_suite(0.3, 0);
+  ASSERT_EQ(a.size(), 12u);
+  ASSERT_EQ(b.size(), 12u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    const graph::Hypergraph ha = exp::load(a[i]);
+    const graph::Hypergraph hb = exp::load(b[i]);
+    EXPECT_EQ(ha.num_nets(), hb.num_nets());
+    EXPECT_EQ(ha.num_pins(), hb.num_pins());
+  }
+}
+
+TEST(Integration, FindBenchmarkByName) {
+  const auto suite = exp::paper_suite(1.0, 0);
+  EXPECT_EQ(exp::find_benchmark(suite, "prim2").name, "prim2");
+  EXPECT_THROW(exp::find_benchmark(suite, "nope"), specpart::Error);
+}
+
+}  // namespace
+}  // namespace specpart

@@ -1,0 +1,165 @@
+// Tests for netlist file I/O (.hgr and .netD parsers, partition writer).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/netlist_io.h"
+#include "util/error.h"
+
+namespace specpart::graph {
+namespace {
+
+TEST(Hgr, ParsesPlainFormat) {
+  std::istringstream in("3 4\n1 2\n2 3 4\n1 4\n");
+  const Hypergraph h = read_hgr(in);
+  EXPECT_EQ(h.num_nets(), 3u);
+  EXPECT_EQ(h.num_nodes(), 4u);
+  EXPECT_EQ(h.net(1).size(), 3u);
+  EXPECT_EQ(h.net(0)[0], 0u);  // 1-based in file -> 0-based in memory
+}
+
+TEST(Hgr, SkipsCommentsAndBlanks) {
+  std::istringstream in("% comment\n\n2 3\n% another\n1 2\n\n2 3\n");
+  const Hypergraph h = read_hgr(in);
+  EXPECT_EQ(h.num_nets(), 2u);
+}
+
+TEST(Hgr, NetWeights) {
+  std::istringstream in("2 3 1\n5.0 1 2\n0.5 2 3\n");
+  const Hypergraph h = read_hgr(in);
+  EXPECT_DOUBLE_EQ(h.net_weight(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.net_weight(1), 0.5);
+}
+
+TEST(Hgr, VertexWeightLinesConsumed) {
+  std::istringstream in("1 2 10\n1 2\n3\n4\n");
+  const Hypergraph h = read_hgr(in);
+  EXPECT_EQ(h.num_nets(), 1u);
+  EXPECT_EQ(h.num_nodes(), 2u);
+}
+
+TEST(Hgr, RejectsMalformedHeader) {
+  std::istringstream in("3\n");
+  EXPECT_THROW(read_hgr(in), Error);
+}
+
+TEST(Hgr, RejectsBadFmt) {
+  std::istringstream in("1 2 7\n1 2\n");
+  EXPECT_THROW(read_hgr(in), Error);
+}
+
+TEST(Hgr, RejectsOutOfRangePin) {
+  std::istringstream in("1 2\n1 3\n");
+  EXPECT_THROW(read_hgr(in), Error);
+}
+
+TEST(Hgr, RejectsZeroPin) {
+  std::istringstream in("1 2\n0 1\n");
+  EXPECT_THROW(read_hgr(in), Error);
+}
+
+TEST(Hgr, RejectsTruncatedFile) {
+  std::istringstream in("2 3\n1 2\n");
+  EXPECT_THROW(read_hgr(in), Error);
+}
+
+TEST(Hgr, RoundTrip) {
+  Hypergraph h(4, {{0, 1, 2}, {2, 3}}, {1.0, 1.0});
+  std::ostringstream out;
+  write_hgr(h, out);
+  std::istringstream in(out.str());
+  const Hypergraph back = read_hgr(in);
+  EXPECT_EQ(back.num_nodes(), h.num_nodes());
+  EXPECT_EQ(back.num_nets(), h.num_nets());
+  for (NetId e = 0; e < h.num_nets(); ++e) EXPECT_EQ(back.net(e), h.net(e));
+}
+
+TEST(Hgr, RoundTripWeighted) {
+  Hypergraph h(3, {{0, 1}, {1, 2}}, {2.0, 1.0});
+  std::ostringstream out;
+  write_hgr(h, out);
+  std::istringstream in(out.str());
+  const Hypergraph back = read_hgr(in);
+  EXPECT_DOUBLE_EQ(back.net_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(back.net_weight(1), 1.0);
+}
+
+TEST(NetD, ParsesPinList) {
+  // Header: 0, #pins=6, #nets=2, #modules=4, pad offset 0.
+  std::istringstream in(
+      "0\n6\n2\n4\n0\n"
+      "a0 s I\n"
+      "a1 l O\n"
+      "p0 l B\n"
+      "a2 s I\n"
+      "a1 l O\n"
+      "p1 l B\n");
+  const Hypergraph h = read_netd(in);
+  EXPECT_EQ(h.num_nets(), 2u);
+  EXPECT_EQ(h.num_nodes(), 5u);  // a0, a1, p0, a2, p1
+  EXPECT_EQ(h.net(0).size(), 3u);
+  EXPECT_EQ(h.node_names()[0], "a0");
+  EXPECT_EQ(h.node_names()[3], "a2");
+}
+
+TEST(NetD, SharedModuleJoinsNets) {
+  std::istringstream in(
+      "0\n4\n2\n3\n0\n"
+      "a0 s I\na1 l O\n"
+      "a1 s I\na2 l O\n");
+  const Hypergraph h = read_netd(in);
+  EXPECT_TRUE(h.connected());
+  EXPECT_EQ(h.node_degree(1), 2u);  // a1 is in both nets
+}
+
+TEST(NetD, RejectsPinCountMismatch) {
+  std::istringstream in("0\n5\n1\n2\n0\na0 s I\na1 l O\n");
+  EXPECT_THROW(read_netd(in), Error);
+}
+
+TEST(NetD, RejectsLeadingContinuation) {
+  std::istringstream in("0\n1\n1\n1\n0\na0 l I\n");
+  EXPECT_THROW(read_netd(in), Error);
+}
+
+TEST(NetD, RejectsBadPinKind) {
+  std::istringstream in("0\n1\n1\n1\n0\na0 x I\n");
+  EXPECT_THROW(read_netd(in), Error);
+}
+
+TEST(NetD, RoundTrip) {
+  Hypergraph h(5, {{0, 1, 2}, {2, 3}, {3, 4}});
+  h.set_node_names({"u0", "u1", "u2", "u3", "u4"});
+  std::ostringstream out;
+  write_netd(h, out);
+  std::istringstream in(out.str());
+  const Hypergraph back = read_netd(in);
+  ASSERT_EQ(back.num_nodes(), h.num_nodes());
+  ASSERT_EQ(back.num_nets(), h.num_nets());
+  for (NetId e = 0; e < h.num_nets(); ++e) EXPECT_EQ(back.net(e), h.net(e));
+  EXPECT_EQ(back.node_names()[3], "u3");
+}
+
+TEST(NetD, RoundTripUnnamed) {
+  Hypergraph h(3, {{0, 1}, {1, 2}});
+  std::ostringstream out;
+  write_netd(h, out);
+  std::istringstream in(out.str());
+  const Hypergraph back = read_netd(in);
+  EXPECT_EQ(back.num_pins(), h.num_pins());
+  EXPECT_EQ(back.node_names()[0], "a0");
+}
+
+TEST(PartitionIo, WritesOnePerLine) {
+  std::ostringstream out;
+  write_partition({0, 1, 1, 0, 2}, out);
+  EXPECT_EQ(out.str(), "0\n1\n1\n0\n2\n");
+}
+
+TEST(Files, MissingFileThrows) {
+  EXPECT_THROW(read_hgr_file("/nonexistent/x.hgr"), Error);
+  EXPECT_THROW(read_netd_file("/nonexistent/x.netD"), Error);
+}
+
+}  // namespace
+}  // namespace specpart::graph

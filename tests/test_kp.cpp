@@ -1,0 +1,83 @@
+// Tests for the KP directional-cosine k-way baseline.
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "part/objectives.h"
+#include "spectral/kp.h"
+#include "util/error.h"
+
+namespace specpart::spectral {
+namespace {
+
+graph::Hypergraph planted(std::size_t modules, std::size_t clusters,
+                          std::uint64_t seed) {
+  graph::GeneratorConfig cfg;
+  cfg.num_modules = modules;
+  cfg.num_nets = modules * 3;
+  cfg.num_clusters = clusters;
+  cfg.subclusters_per_cluster = 1;
+  cfg.p_subcluster = 0.92;
+  cfg.p_cluster = 0.0;
+  cfg.seed = seed;
+  return graph::generate_netlist(cfg);
+}
+
+TEST(Kp, ProducesKNonEmptyClusters) {
+  const graph::Hypergraph h = planted(90, 3, 1);
+  for (std::uint32_t k : {2u, 3u, 4u, 6u}) {
+    const part::Partition p = kp_partition(h, k, KpOptions{});
+    EXPECT_EQ(p.k(), k);
+    EXPECT_EQ(p.num_nonempty(), k) << "k=" << k;
+  }
+}
+
+TEST(Kp, BeatsRoundRobinOnPlanted) {
+  const graph::Hypergraph h = planted(120, 4, 2);
+  const part::Partition p = kp_partition(h, 4, KpOptions{});
+  std::vector<std::uint32_t> rr(h.num_nodes());
+  for (std::size_t i = 0; i < rr.size(); ++i) rr[i] = i % 4;
+  EXPECT_LT(part::scaled_cost(h, p),
+            part::scaled_cost(h, part::Partition(rr, 4)));
+}
+
+TEST(Kp, DeterministicForFixedSeed) {
+  const graph::Hypergraph h = planted(60, 3, 3);
+  const part::Partition a = kp_partition(h, 3, KpOptions{});
+  const part::Partition b = kp_partition(h, 3, KpOptions{});
+  EXPECT_EQ(a.assignment(), b.assignment());
+}
+
+TEST(Kp, RejectsBadK) {
+  const graph::Hypergraph h = planted(20, 2, 4);
+  EXPECT_THROW(kp_partition(h, 1, KpOptions{}), Error);
+  EXPECT_THROW(kp_partition(h, 100, KpOptions{}), Error);
+}
+
+TEST(Kp, NetModelConfigurable) {
+  const graph::Hypergraph h = planted(60, 2, 5);
+  for (model::NetModel m : {model::NetModel::kStandard,
+                            model::NetModel::kPartitioningSpecific,
+                            model::NetModel::kFrankle}) {
+    KpOptions opts;
+    opts.net_model = m;
+    const part::Partition p = kp_partition(h, 2, opts);
+    EXPECT_EQ(p.num_nonempty(), 2u) << model::net_model_name(m);
+  }
+}
+
+TEST(Kp, TwoCliquesExactRecovery) {
+  // Two 6-cliques joined by one net: the 2-way KP partition must cut only
+  // the bridge.
+  std::vector<std::vector<graph::NodeId>> nets;
+  for (graph::NodeId i = 0; i < 6; ++i)
+    for (graph::NodeId j = i + 1; j < 6; ++j) nets.push_back({i, j});
+  for (graph::NodeId i = 6; i < 12; ++i)
+    for (graph::NodeId j = i + 1; j < 12; ++j) nets.push_back({i, j});
+  nets.push_back({0, 6});
+  const graph::Hypergraph h(12, std::move(nets));
+  const part::Partition p = kp_partition(h, 2, KpOptions{});
+  EXPECT_DOUBLE_EQ(part::cut_nets(h, p), 1.0);
+}
+
+}  // namespace
+}  // namespace specpart::spectral

@@ -1,0 +1,95 @@
+// Tests for the min-cost max-flow solver.
+#include <gtest/gtest.h>
+
+#include "opt/mincostflow.h"
+
+namespace specpart::opt {
+namespace {
+
+TEST(MinCostFlow, SimplePath) {
+  MinCostFlow f(3);
+  const auto a = f.add_arc(0, 1, 5.0, 1.0);
+  const auto b = f.add_arc(1, 2, 3.0, 2.0);
+  const auto r = f.solve(0, 2);
+  EXPECT_DOUBLE_EQ(r.flow, 3.0);
+  EXPECT_DOUBLE_EQ(r.cost, 9.0);
+  EXPECT_DOUBLE_EQ(f.flow_on(a), 3.0);
+  EXPECT_DOUBLE_EQ(f.flow_on(b), 3.0);
+}
+
+TEST(MinCostFlow, PrefersCheaperRoute) {
+  // Two parallel routes; the cheap one saturates first.
+  MinCostFlow f(4);
+  const auto cheap1 = f.add_arc(0, 1, 2.0, 1.0);
+  f.add_arc(1, 3, 2.0, 1.0);
+  const auto costly1 = f.add_arc(0, 2, 2.0, 5.0);
+  f.add_arc(2, 3, 2.0, 5.0);
+  const auto r = f.solve(0, 3);
+  EXPECT_DOUBLE_EQ(r.flow, 4.0);
+  EXPECT_DOUBLE_EQ(r.cost, 2.0 * 2.0 + 2.0 * 10.0);
+  EXPECT_DOUBLE_EQ(f.flow_on(cheap1), 2.0);
+  EXPECT_DOUBLE_EQ(f.flow_on(costly1), 2.0);
+}
+
+TEST(MinCostFlow, NegativeCostsHandled) {
+  MinCostFlow f(3);
+  const auto a = f.add_arc(0, 1, 1.0, -4.0);
+  f.add_arc(1, 2, 1.0, 1.0);
+  const auto r = f.solve(0, 2);
+  EXPECT_DOUBLE_EQ(r.flow, 1.0);
+  EXPECT_DOUBLE_EQ(r.cost, -3.0);
+  EXPECT_DOUBLE_EQ(f.flow_on(a), 1.0);
+}
+
+TEST(MinCostFlow, DisconnectedGivesZeroFlow) {
+  MinCostFlow f(4);
+  f.add_arc(0, 1, 1.0, 1.0);
+  f.add_arc(2, 3, 1.0, 1.0);
+  const auto r = f.solve(0, 3);
+  EXPECT_DOUBLE_EQ(r.flow, 0.0);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+}
+
+TEST(MinCostFlow, AssignmentProblem) {
+  // 2x2 assignment: worker i -> job j with costs [[1, 10], [10, 1]];
+  // optimum assigns diagonally for total cost 2.
+  // Nodes: 0 src, 1-2 workers, 3-4 jobs, 5 sink.
+  MinCostFlow f(6);
+  f.add_arc(0, 1, 1.0, 0.0);
+  f.add_arc(0, 2, 1.0, 0.0);
+  const auto a00 = f.add_arc(1, 3, 1.0, 1.0);
+  const auto a01 = f.add_arc(1, 4, 1.0, 10.0);
+  const auto a10 = f.add_arc(2, 3, 1.0, 10.0);
+  const auto a11 = f.add_arc(2, 4, 1.0, 1.0);
+  f.add_arc(3, 5, 1.0, 0.0);
+  f.add_arc(4, 5, 1.0, 0.0);
+  const auto r = f.solve(0, 5);
+  EXPECT_DOUBLE_EQ(r.flow, 2.0);
+  EXPECT_DOUBLE_EQ(r.cost, 2.0);
+  EXPECT_DOUBLE_EQ(f.flow_on(a00), 1.0);
+  EXPECT_DOUBLE_EQ(f.flow_on(a11), 1.0);
+  EXPECT_DOUBLE_EQ(f.flow_on(a01), 0.0);
+  EXPECT_DOUBLE_EQ(f.flow_on(a10), 0.0);
+}
+
+TEST(MinCostFlow, ReroutesThroughResidualArcs) {
+  // Classic rerouting instance: the greedy-first path must be partially
+  // undone via the residual arc to reach max flow at min cost.
+  // 0 -> 1 -> 3 and 0 -> 2 -> 3 with a middle arc 1 -> 2.
+  MinCostFlow f(4);
+  f.add_arc(0, 1, 1.0, 1.0);
+  f.add_arc(0, 2, 1.0, 4.0);
+  f.add_arc(1, 2, 1.0, 1.0);
+  f.add_arc(1, 3, 1.0, 4.0);
+  f.add_arc(2, 3, 1.0, 1.0);
+  const auto r = f.solve(0, 3);
+  EXPECT_DOUBLE_EQ(r.flow, 2.0);
+  // Optimal: 0-1-2-3 (cost 3) + 0-2... capacity 2->3 is 1. Routes:
+  // 0-1-3 (5) and 0-2-3 (5) = 10, or 0-1-2-3 (3) + 0-2(4)->blocked.
+  // Max flow 2 requires using both 1->3 and 2->3: cost = 1+4 + 4+1 = 10
+  // or 1+1+1 (0-1-2-3) + 0-2 is full... 2->3 already used. So 10.
+  EXPECT_DOUBLE_EQ(r.cost, 10.0);
+}
+
+}  // namespace
+}  // namespace specpart::opt

@@ -1,0 +1,150 @@
+// Tests for partitioning objectives on graphs and hypergraphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "model/clique_models.h"
+#include "part/objectives.h"
+
+namespace specpart::part {
+namespace {
+
+graph::Graph square() {
+  // 4-cycle with unit weights: 0-1-2-3-0.
+  return graph::Graph(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {0, 3, 1.0}});
+}
+
+TEST(GraphCut, CountsCrossingEdgesOnce) {
+  const Partition p({0, 0, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(cut_weight(square(), p), 2.0);
+  EXPECT_DOUBLE_EQ(paper_f(square(), p), 4.0);
+}
+
+TEST(GraphCut, ZeroWhenUncut) {
+  const Partition p({0, 0, 0, 0}, 2);
+  EXPECT_DOUBLE_EQ(cut_weight(square(), p), 0.0);
+}
+
+TEST(GraphCut, WeightsRespected) {
+  graph::Graph g(2, {{0, 1, 2.5}});
+  EXPECT_DOUBLE_EQ(cut_weight(g, Partition({0, 1}, 2)), 2.5);
+}
+
+TEST(ClusterDegrees, GraphVersion) {
+  const Partition p({0, 1, 1, 0}, 2);  // cut edges: (0,1) and (2,3)
+  const auto deg = cluster_degrees(square(), p);
+  EXPECT_DOUBLE_EQ(deg[0], 2.0);
+  EXPECT_DOUBLE_EQ(deg[1], 2.0);
+}
+
+TEST(RatioCut, GraphKnownValue) {
+  const Partition p({0, 0, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(ratio_cut(square(), p), 2.0 / 4.0);
+}
+
+TEST(RatioCut, DegenerateIsInfinite) {
+  const Partition p({0, 0, 0, 0}, 2);
+  EXPECT_TRUE(std::isinf(ratio_cut(square(), p)));
+}
+
+TEST(ScaledCost, GraphKnownValue) {
+  const Partition p({0, 0, 1, 1}, 2);
+  // (1/(4*1)) * (2/2 + 2/2) = 0.5.
+  EXPECT_DOUBLE_EQ(scaled_cost(square(), p), 0.5);
+}
+
+TEST(ScaledCost, EmptyClusterInfeasible) {
+  const Partition p({0, 0, 1, 1}, 3);
+  EXPECT_TRUE(std::isinf(scaled_cost(square(), p)));
+}
+
+graph::Hypergraph netlist() {
+  // nets: {0,1,2}, {2,3}, {0,3}
+  return graph::Hypergraph(4, {{0, 1, 2}, {2, 3}, {0, 3}});
+}
+
+TEST(NetCut, SpanningNetCountedOnce) {
+  const Partition p({0, 0, 1, 1}, 2);
+  // {0,1,2} cut, {2,3} inside cluster 1, {0,3} cut.
+  EXPECT_DOUBLE_EQ(cut_nets(netlist(), p), 2.0);
+}
+
+TEST(NetCut, ThreeWaySpanStillOnce) {
+  const Partition p({0, 1, 2, 2}, 3);
+  EXPECT_DOUBLE_EQ(cut_nets(netlist(), p), 2.0);  // {0,1,2} and {0,3}
+}
+
+TEST(NetCut, WeightedNets) {
+  graph::Hypergraph h(3, {{0, 1}, {1, 2}}, {2.0, 5.0});
+  EXPECT_DOUBLE_EQ(cut_nets(h, Partition({0, 0, 1}, 2)), 5.0);
+}
+
+TEST(ClusterDegrees, HypergraphSpanningNetCountsPerCluster) {
+  const Partition p({0, 1, 2, 2}, 3);
+  const auto deg = cluster_degrees(netlist(), p);
+  // {0,1,2} touches clusters 0,1,2; {0,3} touches 0,2.
+  EXPECT_DOUBLE_EQ(deg[0], 2.0);
+  EXPECT_DOUBLE_EQ(deg[1], 1.0);
+  EXPECT_DOUBLE_EQ(deg[2], 2.0);
+}
+
+TEST(ScaledCost, HypergraphKnownValue) {
+  const Partition p({0, 0, 1, 1}, 2);
+  // E_0 = 2 ({0,1,2} and {0,3}), E_1 = 2. (1/(4*1)) * (2/2 + 2/2) = 0.5.
+  EXPECT_DOUBLE_EQ(scaled_cost(netlist(), p), 0.5);
+}
+
+TEST(Objectives, TwoPinHypergraphMatchesGraph) {
+  // A hypergraph of only 2-pin nets must give identical cut/scaled cost to
+  // the equivalent graph.
+  graph::Graph g(5, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 4, 1.0},
+                     {4, 0, 1.0}});
+  const graph::Hypergraph h = graph::to_hypergraph(g);
+  const Partition p({0, 0, 1, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(cut_nets(h, p), cut_weight(g, p));
+  EXPECT_DOUBLE_EQ(scaled_cost(h, p), scaled_cost(g, p));
+  EXPECT_DOUBLE_EQ(ratio_cut(h, p), ratio_cut(g, p));
+}
+
+TEST(Soed, CountsSpanPerCluster) {
+  // net {0,1,2} spanning 3 clusters -> SOED 3; net {2,3} inside -> 0.
+  graph::Hypergraph h(4, {{0, 1, 2}, {2, 3}});
+  const Partition p({0, 1, 2, 2}, 3);
+  EXPECT_DOUBLE_EQ(sum_of_external_degrees(h, p), 3.0);
+  EXPECT_DOUBLE_EQ(k_minus_one_cost(h, p), 2.0);
+}
+
+TEST(Soed, EqualsClusterDegreeSum) {
+  const graph::Hypergraph h = netlist();
+  const Partition p({0, 1, 2, 2}, 3);
+  const auto deg = cluster_degrees(h, p);
+  EXPECT_DOUBLE_EQ(sum_of_external_degrees(h, p), deg[0] + deg[1] + deg[2]);
+}
+
+TEST(KMinusOne, EqualsCutForBipartitions) {
+  const graph::Hypergraph h = netlist();
+  const Partition p({0, 0, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(k_minus_one_cost(h, p), cut_nets(h, p));
+}
+
+TEST(Absorption, FullyAbsorbedIsNetCount) {
+  graph::Hypergraph h(4, {{0, 1}, {2, 3}, {0, 1, 2, 3}});
+  const Partition all_one({0, 0, 0, 0}, 1);
+  EXPECT_DOUBLE_EQ(absorption(h, all_one), 3.0);
+}
+
+TEST(Absorption, PartialAbsorption) {
+  graph::Hypergraph h(4, {{0, 1, 2, 3}});
+  // 3 pins in cluster 0, 1 in cluster 1: (3-1)/(4-1) = 2/3.
+  const Partition p({0, 0, 0, 1}, 2);
+  EXPECT_NEAR(absorption(h, p), 2.0 / 3.0, 1e-15);
+}
+
+TEST(Objectives, SinglePinNetsNeverCut) {
+  graph::Hypergraph h(2, {{0}, {1}, {0, 1}});
+  EXPECT_DOUBLE_EQ(cut_nets(h, Partition({0, 1}, 2)), 1.0);
+}
+
+}  // namespace
+}  // namespace specpart::part

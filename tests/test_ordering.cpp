@@ -1,0 +1,119 @@
+// Tests for linear orderings and prefix-split machinery.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generator.h"
+#include "part/objectives.h"
+#include "part/ordering.h"
+#include "util/rng.h"
+
+namespace specpart::part {
+namespace {
+
+TEST(Ordering, PermutationCheck) {
+  EXPECT_TRUE(is_permutation({2, 0, 1}, 3));
+  EXPECT_FALSE(is_permutation({0, 0, 1}, 3));
+  EXPECT_FALSE(is_permutation({0, 1}, 3));
+  EXPECT_FALSE(is_permutation({0, 1, 3}, 3));
+}
+
+TEST(Ordering, PositionsInverse) {
+  const Ordering o{3, 1, 0, 2};
+  const auto pos = positions_of(o);
+  for (std::uint32_t p = 0; p < o.size(); ++p) EXPECT_EQ(pos[o[p]], p);
+}
+
+TEST(PrefixCuts, MatchesDirectRecomputation) {
+  graph::GeneratorConfig cfg;
+  cfg.num_modules = 60;
+  cfg.num_nets = 80;
+  cfg.seed = 21;
+  const graph::Hypergraph h = graph::generate_netlist(cfg);
+  Rng rng(5);
+  Ordering o(h.num_nodes());
+  std::iota(o.begin(), o.end(), 0u);
+  rng.shuffle(o);
+
+  const auto cuts = prefix_cuts(h, o);
+  ASSERT_EQ(cuts.size(), h.num_nodes() + 1);
+  EXPECT_DOUBLE_EQ(cuts[0], 0.0);
+  EXPECT_DOUBLE_EQ(cuts[h.num_nodes()], 0.0);
+  for (std::size_t i = 1; i < h.num_nodes(); i += 7) {
+    const Partition p = split_to_partition(o, i);
+    EXPECT_DOUBLE_EQ(cuts[i], cut_nets(h, p)) << "prefix " << i;
+  }
+}
+
+TEST(BestRatioSplit, BruteForceAgreement) {
+  graph::Hypergraph h(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5},
+                          {1, 4}});
+  Ordering o{0, 1, 2, 3, 4, 5};
+  const SplitResult best = best_ratio_cut_split(h, o);
+  ASSERT_TRUE(best.feasible);
+  double manual_best = 1e300;
+  for (std::size_t i = 1; i < 6; ++i) {
+    const double c = cut_nets(h, split_to_partition(o, i));
+    manual_best = std::min(manual_best, c / (double(i) * double(6 - i)));
+  }
+  EXPECT_DOUBLE_EQ(best.objective, manual_best);
+}
+
+TEST(BestMinCutSplit, RespectsBalance) {
+  graph::Hypergraph h(10, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6},
+                           {6, 7}, {7, 8}, {8, 9}});
+  Ordering o(10);
+  std::iota(o.begin(), o.end(), 0u);
+  const SplitResult s = best_min_cut_split(h, o, 0.45);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_GE(s.split, 5u);  // ceil(0.45*10) = 5
+  EXPECT_LE(s.split, 5u);  // only i = 5 is feasible
+  EXPECT_DOUBLE_EQ(s.cut, 1.0);  // the path is split in the middle
+}
+
+TEST(BestMinCutSplit, InfeasibleWhenTooStrict) {
+  graph::Hypergraph h(3, {{0, 1}, {1, 2}});
+  Ordering o{0, 1, 2};
+  const SplitResult s = best_min_cut_split(h, o, 0.6);
+  EXPECT_FALSE(s.feasible);
+}
+
+TEST(BestSplit, PathGraphOptimal) {
+  // Ordering along a path: best ratio-cut split of P_8 is the middle.
+  graph::Hypergraph h(8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6},
+                          {6, 7}});
+  Ordering o(8);
+  std::iota(o.begin(), o.end(), 0u);
+  const SplitResult s = best_ratio_cut_split(h, o);
+  EXPECT_EQ(s.split, 4u);
+  EXPECT_DOUBLE_EQ(s.cut, 1.0);
+}
+
+TEST(SplitToPartition, PrefixIsClusterZero) {
+  const Ordering o{2, 0, 1};
+  const Partition p = split_to_partition(o, 1);
+  EXPECT_EQ(p.cluster_of(2), 0u);
+  EXPECT_EQ(p.cluster_of(0), 1u);
+  EXPECT_EQ(p.cluster_of(1), 1u);
+}
+
+TEST(PrefixCuts, WeightedNets) {
+  graph::Hypergraph h(3, {{0, 1}, {1, 2}}, {2.0, 3.0});
+  const Ordering o{0, 1, 2};
+  const auto cuts = prefix_cuts(h, o);
+  EXPECT_DOUBLE_EQ(cuts[1], 2.0);
+  EXPECT_DOUBLE_EQ(cuts[2], 3.0);
+}
+
+TEST(PrefixCuts, MultiPinNetOpenUntilComplete) {
+  graph::Hypergraph h(4, {{0, 1, 2, 3}});
+  const Ordering o{0, 1, 2, 3};
+  const auto cuts = prefix_cuts(h, o);
+  EXPECT_DOUBLE_EQ(cuts[1], 1.0);
+  EXPECT_DOUBLE_EQ(cuts[2], 1.0);
+  EXPECT_DOUBLE_EQ(cuts[3], 1.0);
+  EXPECT_DOUBLE_EQ(cuts[4], 0.0);
+}
+
+}  // namespace
+}  // namespace specpart::part

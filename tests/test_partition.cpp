@@ -1,0 +1,69 @@
+// Tests for Partition and BalanceConstraint.
+#include <gtest/gtest.h>
+
+#include "part/partition.h"
+
+namespace specpart::part {
+namespace {
+
+TEST(Partition, InitialAllInClusterZero) {
+  Partition p(5, 3);
+  EXPECT_EQ(p.k(), 3u);
+  EXPECT_EQ(p.cluster_size(0), 5u);
+  EXPECT_EQ(p.cluster_size(1), 0u);
+  EXPECT_EQ(p.num_nonempty(), 1u);
+}
+
+TEST(Partition, AssignUpdatesSizes) {
+  Partition p(4, 2);
+  p.assign(0, 1);
+  p.assign(3, 1);
+  EXPECT_EQ(p.cluster_size(0), 2u);
+  EXPECT_EQ(p.cluster_size(1), 2u);
+  p.assign(0, 1);  // no-op move
+  EXPECT_EQ(p.cluster_size(1), 2u);
+}
+
+TEST(Partition, FromAssignment) {
+  Partition p({0, 1, 2, 1}, 3);
+  EXPECT_EQ(p.cluster_size(1), 2u);
+  EXPECT_EQ(p.cluster_of(2), 2u);
+  EXPECT_EQ(p.num_nonempty(), 3u);
+}
+
+TEST(Partition, Members) {
+  Partition p({1, 0, 1, 1}, 2);
+  const auto m = p.members(1);
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0], 0u);
+  EXPECT_EQ(m[1], 2u);
+  EXPECT_EQ(m[2], 3u);
+}
+
+TEST(Balance, Bounds) {
+  BalanceConstraint b{0.45, 0.55};
+  EXPECT_EQ(b.lower(100), 45u);
+  EXPECT_EQ(b.upper(100), 55u);
+  EXPECT_EQ(b.lower(10), 5u);   // ceil(4.5)
+  EXPECT_EQ(b.upper(10), 5u);   // floor(5.5)
+}
+
+TEST(Balance, Satisfied) {
+  BalanceConstraint b{0.4, 0.6};
+  EXPECT_TRUE(b.satisfied(Partition({0, 0, 1, 1}, 2)));
+  EXPECT_FALSE(b.satisfied(Partition({0, 0, 0, 1}, 2)));
+}
+
+TEST(Balance, UnconstrainedAlwaysSatisfied) {
+  BalanceConstraint b;  // [0, 1]
+  EXPECT_TRUE(b.satisfied(Partition({0, 0, 0, 0}, 2)));
+}
+
+TEST(Balance, ExactHalves) {
+  BalanceConstraint b{0.5, 0.5};
+  EXPECT_TRUE(b.satisfied(Partition({0, 1, 0, 1}, 2)));
+  EXPECT_FALSE(b.satisfied(Partition({0, 0, 0, 1}, 2)));
+}
+
+}  // namespace
+}  // namespace specpart::part

@@ -1,0 +1,92 @@
+// Golden-value regression tests.
+//
+// Every randomized component of the library is seeded, so whole-pipeline
+// outputs are deterministic. These tests pin concrete values measured on
+// the quarter-scale suite; an unintended behavior change anywhere in the
+// stack (generator, net model, eigensolver, greedy, splitter, FM) shows up
+// here even if all the invariant-based tests still pass. If a change is
+// INTENTIONAL, re-measure and update the constants (and mention it in the
+// commit message).
+#include <gtest/gtest.h>
+
+#include "core/drivers.h"
+#include "exp/suite.h"
+#include "part/fm.h"
+#include "part/objectives.h"
+#include "spectral/rsb.h"
+#include "spectral/sb.h"
+
+namespace specpart {
+namespace {
+
+struct Golden {
+  const char* name;
+  std::size_t nodes;
+  std::size_t nets;
+  std::size_t pins;
+  double sb_cut;
+  double melo_cut;
+  double fm_cut;
+  double rsb_scaled_cost;
+};
+
+// Measured at suite scale 0.25, limit 3, default seeds (2026-07).
+constexpr Golden kGolden[] = {
+    {"balu", 200, 198, 559, 22, 19, 18, 0.001592},
+    {"bm1", 221, 239, 656, 29, 34, 24, 0.001040},
+    {"prim1", 208, 233, 661, 23, 26, 20, 0.001516},
+};
+
+class GoldenValues : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenValues, GeneratorStatisticsPinned) {
+  const Golden g = GetParam();
+  const auto suite = exp::paper_suite(0.25, 3);
+  const graph::Hypergraph h = exp::load(exp::find_benchmark(suite, g.name));
+  EXPECT_EQ(h.num_nodes(), g.nodes);
+  EXPECT_EQ(h.num_nets(), g.nets);
+  EXPECT_EQ(h.num_pins(), g.pins);
+}
+
+TEST_P(GoldenValues, SbCutPinned) {
+  const Golden g = GetParam();
+  const auto suite = exp::paper_suite(0.25, 3);
+  const graph::Hypergraph h = exp::load(exp::find_benchmark(suite, g.name));
+  spectral::SbOptions opts;
+  opts.min_fraction = 0.45;
+  const auto r = spectral::spectral_bipartition(h, opts);
+  EXPECT_DOUBLE_EQ(part::cut_nets(h, r.partition), g.sb_cut);
+}
+
+TEST_P(GoldenValues, MeloCutPinned) {
+  const Golden g = GetParam();
+  const auto suite = exp::paper_suite(0.25, 3);
+  const graph::Hypergraph h = exp::load(exp::find_benchmark(suite, g.name));
+  const auto r = core::melo_bipartition(h, core::MeloOptions{}, 0.45);
+  EXPECT_DOUBLE_EQ(r.cut, g.melo_cut);
+}
+
+TEST_P(GoldenValues, FmCutPinned) {
+  const Golden g = GetParam();
+  const auto suite = exp::paper_suite(0.25, 3);
+  const graph::Hypergraph h = exp::load(exp::find_benchmark(suite, g.name));
+  const auto r = part::fm_bipartition(h, part::FmOptions{});
+  EXPECT_DOUBLE_EQ(r.cut, g.fm_cut);
+}
+
+TEST_P(GoldenValues, RsbScaledCostPinned) {
+  const Golden g = GetParam();
+  const auto suite = exp::paper_suite(0.25, 3);
+  const graph::Hypergraph h = exp::load(exp::find_benchmark(suite, g.name));
+  const auto p = spectral::rsb_partition(h, 4, spectral::RsbOptions{});
+  EXPECT_NEAR(part::scaled_cost(h, p), g.rsb_scaled_cost, 5e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(QuarterScaleSuite, GoldenValues,
+                         ::testing::ValuesIn(kGolden),
+                         [](const ::testing::TestParamInfo<Golden>& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace specpart

@@ -1,0 +1,67 @@
+// Tests for the partition quality report.
+#include <gtest/gtest.h>
+
+#include "part/objectives.h"
+#include "part/report.h"
+
+namespace specpart::part {
+namespace {
+
+graph::Hypergraph netlist() {
+  return graph::Hypergraph(6, {{0, 1, 2}, {2, 3}, {3, 4, 5}, {0, 5}});
+}
+
+TEST(Report, MetricsMatchObjectivesModule) {
+  const graph::Hypergraph h = netlist();
+  const Partition p({0, 0, 0, 1, 1, 1}, 2);
+  const QualityReport r = evaluate(h, p);
+  EXPECT_DOUBLE_EQ(r.cut_nets, cut_nets(h, p));
+  EXPECT_DOUBLE_EQ(r.k_minus_one, k_minus_one_cost(h, p));
+  EXPECT_DOUBLE_EQ(r.soed, sum_of_external_degrees(h, p));
+  EXPECT_DOUBLE_EQ(r.absorption, absorption(h, p));
+  EXPECT_DOUBLE_EQ(r.scaled_cost, scaled_cost(h, p));
+  EXPECT_DOUBLE_EQ(r.ratio_cut, ratio_cut(h, p));
+}
+
+TEST(Report, PerClusterStats) {
+  const graph::Hypergraph h = netlist();
+  const Partition p({0, 0, 0, 1, 1, 1}, 2);
+  const QualityReport r = evaluate(h, p);
+  ASSERT_EQ(r.clusters.size(), 2u);
+  EXPECT_EQ(r.clusters[0].size, 3u);
+  EXPECT_EQ(r.clusters[1].size, 3u);
+  // Cut nets: {2,3} and {0,5}; both touch both clusters.
+  EXPECT_DOUBLE_EQ(r.clusters[0].external_degree, 2.0);
+  EXPECT_DOUBLE_EQ(r.clusters[1].external_degree, 2.0);
+  // Internal: {0,1,2} in cluster 0, {3,4,5} in cluster 1.
+  EXPECT_DOUBLE_EQ(r.clusters[0].internal_nets, 1.0);
+  EXPECT_DOUBLE_EQ(r.clusters[1].internal_nets, 1.0);
+}
+
+TEST(Report, ImbalanceOfPerfectSplit) {
+  const graph::Hypergraph h = netlist();
+  const QualityReport balanced = evaluate(h, Partition({0, 0, 0, 1, 1, 1}, 2));
+  EXPECT_DOUBLE_EQ(balanced.imbalance, 1.0);
+  const QualityReport skewed = evaluate(h, Partition({0, 0, 0, 0, 0, 1}, 2));
+  EXPECT_NEAR(skewed.imbalance, 5.0 / 3.0, 1e-12);
+}
+
+TEST(Report, RenderingContainsKeyLines) {
+  const graph::Hypergraph h = netlist();
+  const std::string text = report_string(h, Partition({0, 1, 0, 1, 0, 1}, 2));
+  EXPECT_NE(text.find("cut nets"), std::string::npos);
+  EXPECT_NE(text.find("scaled cost"), std::string::npos);
+  EXPECT_NE(text.find("cluster 0"), std::string::npos);
+  EXPECT_NE(text.find("cluster 1"), std::string::npos);
+}
+
+TEST(Report, SingleClusterPartition) {
+  const graph::Hypergraph h = netlist();
+  const QualityReport r = evaluate(h, Partition(6, 1));
+  EXPECT_DOUBLE_EQ(r.cut_nets, 0.0);
+  EXPECT_DOUBLE_EQ(r.absorption, 4.0);
+  EXPECT_DOUBLE_EQ(r.imbalance, 1.0);
+}
+
+}  // namespace
+}  // namespace specpart::part

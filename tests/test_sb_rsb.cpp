@@ -1,0 +1,140 @@
+// Tests for spectral bipartitioning and its recursive multi-way extension.
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "part/objectives.h"
+#include "spectral/rsb.h"
+#include "spectral/sb.h"
+#include "util/error.h"
+
+namespace specpart::spectral {
+namespace {
+
+/// Two dense blocks joined by a thin bridge.
+graph::Hypergraph two_blocks(std::size_t half, std::uint64_t seed) {
+  graph::GeneratorConfig cfg;
+  cfg.num_modules = 2 * half;
+  cfg.num_nets = 5 * half;
+  cfg.num_clusters = 2;
+  cfg.subclusters_per_cluster = 1;
+  cfg.p_subcluster = 0.95;
+  cfg.p_cluster = 0.0;
+  cfg.seed = seed;
+  return graph::generate_netlist(cfg);
+}
+
+TEST(Sb, RecoversTwoBlocks) {
+  const graph::Hypergraph h = two_blocks(40, 3);
+  const auto planted = graph::planted_clusters([&] {
+    graph::GeneratorConfig cfg;
+    cfg.num_modules = 80;
+    cfg.num_nets = 200;
+    cfg.num_clusters = 2;
+    cfg.subclusters_per_cluster = 1;
+    cfg.p_subcluster = 0.95;
+    cfg.p_cluster = 0.0;
+    cfg.seed = 3;
+    return cfg;
+  }());
+  SbOptions opts;
+  const SbResult r = spectral_bipartition(h, opts);
+  // The SB bipartition should agree with the planted one almost everywhere
+  // (up to cluster relabeling).
+  std::size_t agree = 0;
+  for (graph::NodeId v = 0; v < h.num_nodes(); ++v)
+    if (r.partition.cluster_of(v) == planted[v]) ++agree;
+  const std::size_t matched = std::max(agree, h.num_nodes() - agree);
+  EXPECT_GT(matched, h.num_nodes() * 9 / 10);
+}
+
+TEST(Sb, FiedlerValuePositiveForConnected) {
+  const graph::Hypergraph h = two_blocks(20, 5);
+  const SbResult r = spectral_bipartition(h, SbOptions{});
+  EXPECT_GT(r.fiedler_value, 0.0);
+}
+
+TEST(Sb, BalancedModeRespectsFraction) {
+  const graph::Hypergraph h = two_blocks(30, 7);
+  SbOptions opts;
+  opts.min_fraction = 0.45;
+  const SbResult r = spectral_bipartition(h, opts);
+  const std::size_t n = h.num_nodes();
+  EXPECT_GE(r.partition.cluster_size(0), static_cast<std::size_t>(0.45 * n));
+  EXPECT_GE(r.partition.cluster_size(1), static_cast<std::size_t>(0.45 * n));
+}
+
+TEST(Sb, OrderingIsPermutation) {
+  const graph::Hypergraph h = two_blocks(15, 9);
+  const SbResult r = spectral_bipartition(h, SbOptions{});
+  EXPECT_TRUE(part::is_permutation(r.ordering, h.num_nodes()));
+}
+
+TEST(Sb, SplitConsistentWithPartition) {
+  const graph::Hypergraph h = two_blocks(15, 11);
+  const SbResult r = spectral_bipartition(h, SbOptions{});
+  EXPECT_EQ(r.partition.cluster_size(0), r.split.split);
+  EXPECT_DOUBLE_EQ(part::cut_nets(h, r.partition), r.split.cut);
+}
+
+TEST(Rsb, ProducesKNonEmptyClusters) {
+  graph::GeneratorConfig cfg;
+  cfg.num_modules = 120;
+  cfg.num_nets = 180;
+  cfg.num_clusters = 4;
+  cfg.seed = 13;
+  const graph::Hypergraph h = graph::generate_netlist(cfg);
+  for (std::uint32_t k : {2u, 3u, 5u, 8u}) {
+    const part::Partition p = rsb_partition(h, k, RsbOptions{});
+    EXPECT_EQ(p.k(), k);
+    EXPECT_EQ(p.num_nonempty(), k) << "k=" << k;
+  }
+}
+
+TEST(Rsb, RecoversPlantedFourWay) {
+  graph::GeneratorConfig cfg;
+  cfg.num_modules = 160;
+  cfg.num_nets = 420;
+  cfg.num_clusters = 4;
+  cfg.subclusters_per_cluster = 1;
+  cfg.p_subcluster = 0.93;
+  cfg.p_cluster = 0.0;
+  cfg.seed = 17;
+  const graph::Hypergraph h = graph::generate_netlist(cfg);
+  const part::Partition p = rsb_partition(h, 4, RsbOptions{});
+  // Quality proxy: the 4-way scaled cost must beat a round-robin partition
+  // by a wide margin.
+  std::vector<std::uint32_t> rr(h.num_nodes());
+  for (std::size_t i = 0; i < rr.size(); ++i) rr[i] = i % 4;
+  const double ours = part::scaled_cost(h, p);
+  const double base = part::scaled_cost(h, part::Partition(rr, 4));
+  EXPECT_LT(ours, 0.4 * base);
+}
+
+TEST(Rsb, RejectsBadK) {
+  const graph::Hypergraph h = two_blocks(10, 19);
+  EXPECT_THROW(rsb_partition(h, 1, RsbOptions{}), Error);
+  EXPECT_THROW(rsb_partition(h, 1000, RsbOptions{}), Error);
+}
+
+TEST(Rsb, KEqualsNDegenerates) {
+  graph::Hypergraph h(4, {{0, 1}, {1, 2}, {2, 3}});
+  const part::Partition p = rsb_partition(h, 4, RsbOptions{});
+  EXPECT_EQ(p.num_nonempty(), 4u);
+  for (std::uint32_t c = 0; c < 4; ++c) EXPECT_EQ(p.cluster_size(c), 1u);
+}
+
+TEST(FiedlerOrdering, PathIsMonotone) {
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId i = 0; i + 1 < 20; ++i)
+    edges.push_back({i, static_cast<graph::NodeId>(i + 1), 1.0});
+  const graph::Graph g(20, edges);
+  const part::Ordering o = fiedler_ordering(g, 1);
+  // The Fiedler vector of a path is monotone along the path, so the
+  // ordering must be 0..19 or its reverse.
+  const bool forward = o.front() == 0;
+  for (std::size_t i = 0; i < 20; ++i)
+    EXPECT_EQ(o[i], forward ? i : 19 - i);
+}
+
+}  // namespace
+}  // namespace specpart::spectral

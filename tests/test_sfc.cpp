@@ -1,0 +1,159 @@
+// Tests for the spacefilling-curve machinery (Hilbert/Morton indices and
+// embedding orderings).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generator.h"
+#include "part/ordering.h"
+#include "spectral/sfc.h"
+#include "util/rng.h"
+
+namespace specpart::spectral {
+namespace {
+
+TEST(Hilbert, Dim2Order1IsTheClassicU) {
+  // The 2x2 Hilbert curve visits (0,0), (0,1), (1,1), (1,0) in some
+  // orientation: indices 0..3, each cell distinct.
+  std::set<unsigned long long> seen;
+  for (std::uint32_t x = 0; x < 2; ++x)
+    for (std::uint32_t y = 0; y < 2; ++y)
+      seen.insert(
+          static_cast<unsigned long long>(hilbert_index({x, y}, 1)));
+  EXPECT_EQ(seen.size(), 4u);
+  for (auto v : seen) EXPECT_LT(v, 4ull);
+}
+
+class HilbertBijection
+    : public ::testing::TestWithParam<std::pair<std::size_t, unsigned>> {};
+
+TEST_P(HilbertBijection, IndicesAreAPermutationOfTheLattice) {
+  const auto [d, bits] = GetParam();
+  const std::size_t side = 1u << bits;
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < d; ++i) total *= side;
+  std::set<unsigned long long> seen;
+  std::vector<std::uint32_t> coords(d, 0);
+  for (std::size_t cell = 0; cell < total; ++cell) {
+    std::size_t rest = cell;
+    for (std::size_t i = 0; i < d; ++i) {
+      coords[i] = static_cast<std::uint32_t>(rest % side);
+      rest /= side;
+    }
+    const auto key =
+        static_cast<unsigned long long>(hilbert_index(coords, bits));
+    EXPECT_LT(key, total);
+    seen.insert(key);
+  }
+  EXPECT_EQ(seen.size(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattices, HilbertBijection,
+    ::testing::Values(std::make_pair<std::size_t, unsigned>(2, 1),
+                      std::make_pair<std::size_t, unsigned>(2, 3),
+                      std::make_pair<std::size_t, unsigned>(3, 2),
+                      std::make_pair<std::size_t, unsigned>(4, 2),
+                      std::make_pair<std::size_t, unsigned>(5, 1)));
+
+TEST(Hilbert, ConsecutiveCellsAreLatticeNeighbours) {
+  // The defining Hilbert property: consecutive curve positions differ by
+  // exactly 1 in exactly one coordinate.
+  const unsigned bits = 3;
+  const std::size_t d = 2;
+  const std::size_t side = 1u << bits;
+  std::vector<std::vector<std::uint32_t>> by_index(side * side);
+  for (std::uint32_t x = 0; x < side; ++x)
+    for (std::uint32_t y = 0; y < side; ++y) {
+      const auto key =
+          static_cast<std::size_t>(hilbert_index({x, y}, bits));
+      by_index[key] = {x, y};
+    }
+  for (std::size_t i = 1; i < by_index.size(); ++i) {
+    std::size_t manhattan = 0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const std::int64_t delta =
+          static_cast<std::int64_t>(by_index[i][c]) -
+          static_cast<std::int64_t>(by_index[i - 1][c]);
+      manhattan += static_cast<std::size_t>(delta < 0 ? -delta : delta);
+    }
+    EXPECT_EQ(manhattan, 1u) << "between index " << i - 1 << " and " << i;
+  }
+}
+
+TEST(Hilbert, ConsecutiveCells3D) {
+  // The unit-step property also holds in 3 dimensions.
+  const unsigned bits = 2;
+  const std::size_t side = 1u << bits;
+  std::vector<std::vector<std::uint32_t>> by_index(side * side * side);
+  for (std::uint32_t x = 0; x < side; ++x)
+    for (std::uint32_t y = 0; y < side; ++y)
+      for (std::uint32_t z = 0; z < side; ++z) {
+        const auto key =
+            static_cast<std::size_t>(hilbert_index({x, y, z}, bits));
+        by_index[key] = {x, y, z};
+      }
+  for (std::size_t i = 1; i < by_index.size(); ++i) {
+    std::size_t manhattan = 0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      const std::int64_t delta =
+          static_cast<std::int64_t>(by_index[i][c]) -
+          static_cast<std::int64_t>(by_index[i - 1][c]);
+      manhattan += static_cast<std::size_t>(delta < 0 ? -delta : delta);
+    }
+    EXPECT_EQ(manhattan, 1u) << "between index " << i - 1 << " and " << i;
+  }
+}
+
+TEST(Morton, BijectiveOnSmallLattice) {
+  std::set<unsigned long long> seen;
+  for (std::uint32_t x = 0; x < 8; ++x)
+    for (std::uint32_t y = 0; y < 8; ++y)
+      seen.insert(static_cast<unsigned long long>(morton_index({x, y}, 3)));
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(CurveOrdering, ReturnsPermutation) {
+  linalg::DenseMatrix embedding(50, 3);
+  std::uint64_t state = 9;
+  for (std::size_t i = 0; i < 50; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      embedding.at(i, j) =
+          static_cast<double>(splitmix64(state) % 1000) / 1000.0;
+  for (CurveKind kind : {CurveKind::kHilbert, CurveKind::kMorton}) {
+    const part::Ordering o = curve_ordering(embedding, kind);
+    EXPECT_TRUE(part::is_permutation(o, 50));
+  }
+}
+
+TEST(CurveOrdering, OneDimensionSortsByCoordinate) {
+  linalg::DenseMatrix embedding(5, 1);
+  const double values[] = {0.9, 0.1, 0.5, 0.3, 0.7};
+  for (std::size_t i = 0; i < 5; ++i) embedding.at(i, 0) = values[i];
+  const part::Ordering o = curve_ordering(embedding, CurveKind::kMorton);
+  EXPECT_EQ(o, (part::Ordering{1, 3, 2, 4, 0}));
+}
+
+TEST(SfcOrdering, LocalityOnNetlist) {
+  graph::GeneratorConfig cfg;
+  cfg.num_modules = 100;
+  cfg.num_nets = 260;
+  cfg.num_clusters = 2;
+  cfg.subclusters_per_cluster = 1;
+  cfg.p_subcluster = 0.95;
+  cfg.p_cluster = 0.0;
+  cfg.seed = 23;
+  const graph::Hypergraph h = graph::generate_netlist(cfg);
+  SfcOptions opts;
+  opts.dimensions = 2;
+  const part::Ordering o = sfc_ordering(h, opts);
+  ASSERT_TRUE(part::is_permutation(o, h.num_nodes()));
+  // Splitting the SFC ordering in the middle should roughly recover the
+  // planted 2-block structure: the cut must be far below a random split.
+  const auto cuts = part::prefix_cuts(h, o);
+  const double mid_cut = cuts[h.num_nodes() / 2];
+  EXPECT_LT(mid_cut, 0.35 * static_cast<double>(h.num_nets()));
+}
+
+}  // namespace
+}  // namespace specpart::spectral
