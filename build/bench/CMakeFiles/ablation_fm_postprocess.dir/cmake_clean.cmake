@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fm_postprocess.dir/ablation_fm_postprocess.cpp.o"
+  "CMakeFiles/ablation_fm_postprocess.dir/ablation_fm_postprocess.cpp.o.d"
+  "ablation_fm_postprocess"
+  "ablation_fm_postprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fm_postprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_h_readjust.dir/ablation_h_readjust.cpp.o"
+  "CMakeFiles/ablation_h_readjust.dir/ablation_h_readjust.cpp.o.d"
+  "ablation_h_readjust"
+  "ablation_h_readjust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_h_readjust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lazy_ranking.dir/ablation_lazy_ranking.cpp.o"
+  "CMakeFiles/ablation_lazy_ranking.dir/ablation_lazy_ranking.cpp.o.d"
+  "ablation_lazy_ranking"
+  "ablation_lazy_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lazy_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

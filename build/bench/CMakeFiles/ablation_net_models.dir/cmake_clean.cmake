@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_net_models.dir/ablation_net_models.cpp.o"
+  "CMakeFiles/ablation_net_models.dir/ablation_net_models.cpp.o.d"
+  "ablation_net_models"
+  "ablation_net_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_net_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

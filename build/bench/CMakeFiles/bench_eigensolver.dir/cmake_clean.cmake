@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eigensolver.dir/bench_eigensolver.cpp.o"
+  "CMakeFiles/bench_eigensolver.dir/bench_eigensolver.cpp.o.d"
+  "bench_eigensolver"
+  "bench_eigensolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eigensolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_multiway.dir/extended_multiway.cpp.o"
+  "CMakeFiles/extended_multiway.dir/extended_multiway.cpp.o.d"
+  "extended_multiway"
+  "extended_multiway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_multiway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_quality_vs_d.dir/fig_quality_vs_d.cpp.o"
+  "CMakeFiles/fig_quality_vs_d.dir/fig_quality_vs_d.cpp.o.d"
+  "fig_quality_vs_d"
+  "fig_quality_vs_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_quality_vs_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_quality_vs_d.
+# This may be replaced when dependencies are built.

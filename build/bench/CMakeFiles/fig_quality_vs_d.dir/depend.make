@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_quality_vs_d.
+# This may be replaced when dependencies are built.

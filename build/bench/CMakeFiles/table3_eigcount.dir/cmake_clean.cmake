@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_eigcount.dir/table3_eigcount.cpp.o"
+  "CMakeFiles/table3_eigcount.dir/table3_eigcount.cpp.o.d"
+  "table3_eigcount"
+  "table3_eigcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_eigcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

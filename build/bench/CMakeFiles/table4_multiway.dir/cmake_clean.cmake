@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_multiway.dir/table4_multiway.cpp.o"
+  "CMakeFiles/table4_multiway.dir/table4_multiway.cpp.o.d"
+  "table4_multiway"
+  "table4_multiway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_multiway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

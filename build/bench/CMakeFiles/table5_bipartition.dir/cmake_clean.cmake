@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_bipartition.dir/table5_bipartition.cpp.o"
+  "CMakeFiles/table5_bipartition.dir/table5_bipartition.cpp.o.d"
+  "table5_bipartition"
+  "table5_bipartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_bipartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

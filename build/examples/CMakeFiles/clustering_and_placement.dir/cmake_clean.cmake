@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_and_placement.dir/clustering_and_placement.cpp.o"
+  "CMakeFiles/clustering_and_placement.dir/clustering_and_placement.cpp.o.d"
+  "clustering_and_placement"
+  "clustering_and_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_and_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiway_flow.dir/multiway_flow.cpp.o"
+  "CMakeFiles/multiway_flow.dir/multiway_flow.cpp.o.d"
+  "multiway_flow"
+  "multiway_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiway_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

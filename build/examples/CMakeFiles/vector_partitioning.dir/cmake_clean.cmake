@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_partitioning.dir/vector_partitioning.cpp.o"
+  "CMakeFiles/vector_partitioning.dir/vector_partitioning.cpp.o.d"
+  "vector_partitioning"
+  "vector_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clustering.cpp" "src/CMakeFiles/specpart.dir/core/clustering.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/core/clustering.cpp.o.d"
+  "/root/repo/src/core/drivers.cpp" "src/CMakeFiles/specpart.dir/core/drivers.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/core/drivers.cpp.o.d"
+  "/root/repo/src/core/maxcut.cpp" "src/CMakeFiles/specpart.dir/core/maxcut.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/core/maxcut.cpp.o.d"
+  "/root/repo/src/core/melo.cpp" "src/CMakeFiles/specpart.dir/core/melo.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/core/melo.cpp.o.d"
+  "/root/repo/src/core/reduction.cpp" "src/CMakeFiles/specpart.dir/core/reduction.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/core/reduction.cpp.o.d"
+  "/root/repo/src/core/vecpart.cpp" "src/CMakeFiles/specpart.dir/core/vecpart.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/core/vecpart.cpp.o.d"
+  "/root/repo/src/exp/runners.cpp" "src/CMakeFiles/specpart.dir/exp/runners.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/exp/runners.cpp.o.d"
+  "/root/repo/src/exp/suite.cpp" "src/CMakeFiles/specpart.dir/exp/suite.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/exp/suite.cpp.o.d"
+  "/root/repo/src/exp/tableio.cpp" "src/CMakeFiles/specpart.dir/exp/tableio.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/exp/tableio.cpp.o.d"
+  "/root/repo/src/graph/generator.cpp" "src/CMakeFiles/specpart.dir/graph/generator.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/graph/generator.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/specpart.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/hypergraph.cpp" "src/CMakeFiles/specpart.dir/graph/hypergraph.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/graph/hypergraph.cpp.o.d"
+  "/root/repo/src/graph/laplacian.cpp" "src/CMakeFiles/specpart.dir/graph/laplacian.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/graph/laplacian.cpp.o.d"
+  "/root/repo/src/graph/netlist_io.cpp" "src/CMakeFiles/specpart.dir/graph/netlist_io.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/graph/netlist_io.cpp.o.d"
+  "/root/repo/src/linalg/dense.cpp" "src/CMakeFiles/specpart.dir/linalg/dense.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/linalg/dense.cpp.o.d"
+  "/root/repo/src/linalg/lanczos.cpp" "src/CMakeFiles/specpart.dir/linalg/lanczos.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/linalg/lanczos.cpp.o.d"
+  "/root/repo/src/linalg/sparse.cpp" "src/CMakeFiles/specpart.dir/linalg/sparse.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/linalg/sparse.cpp.o.d"
+  "/root/repo/src/linalg/symmetric_eigen.cpp" "src/CMakeFiles/specpart.dir/linalg/symmetric_eigen.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/linalg/symmetric_eigen.cpp.o.d"
+  "/root/repo/src/linalg/tridiagonal.cpp" "src/CMakeFiles/specpart.dir/linalg/tridiagonal.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/linalg/tridiagonal.cpp.o.d"
+  "/root/repo/src/model/clique_models.cpp" "src/CMakeFiles/specpart.dir/model/clique_models.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/model/clique_models.cpp.o.d"
+  "/root/repo/src/model/transforms.cpp" "src/CMakeFiles/specpart.dir/model/transforms.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/model/transforms.cpp.o.d"
+  "/root/repo/src/opt/mincostflow.cpp" "src/CMakeFiles/specpart.dir/opt/mincostflow.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/opt/mincostflow.cpp.o.d"
+  "/root/repo/src/part/fm.cpp" "src/CMakeFiles/specpart.dir/part/fm.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/part/fm.cpp.o.d"
+  "/root/repo/src/part/kl.cpp" "src/CMakeFiles/specpart.dir/part/kl.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/part/kl.cpp.o.d"
+  "/root/repo/src/part/kwayfm.cpp" "src/CMakeFiles/specpart.dir/part/kwayfm.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/part/kwayfm.cpp.o.d"
+  "/root/repo/src/part/multilevel.cpp" "src/CMakeFiles/specpart.dir/part/multilevel.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/part/multilevel.cpp.o.d"
+  "/root/repo/src/part/objectives.cpp" "src/CMakeFiles/specpart.dir/part/objectives.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/part/objectives.cpp.o.d"
+  "/root/repo/src/part/ordering.cpp" "src/CMakeFiles/specpart.dir/part/ordering.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/part/ordering.cpp.o.d"
+  "/root/repo/src/part/partition.cpp" "src/CMakeFiles/specpart.dir/part/partition.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/part/partition.cpp.o.d"
+  "/root/repo/src/part/report.cpp" "src/CMakeFiles/specpart.dir/part/report.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/part/report.cpp.o.d"
+  "/root/repo/src/spectral/barnes.cpp" "src/CMakeFiles/specpart.dir/spectral/barnes.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/spectral/barnes.cpp.o.d"
+  "/root/repo/src/spectral/dprp.cpp" "src/CMakeFiles/specpart.dir/spectral/dprp.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/spectral/dprp.cpp.o.d"
+  "/root/repo/src/spectral/embedding.cpp" "src/CMakeFiles/specpart.dir/spectral/embedding.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/spectral/embedding.cpp.o.d"
+  "/root/repo/src/spectral/fkprobe.cpp" "src/CMakeFiles/specpart.dir/spectral/fkprobe.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/spectral/fkprobe.cpp.o.d"
+  "/root/repo/src/spectral/kmeans.cpp" "src/CMakeFiles/specpart.dir/spectral/kmeans.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/spectral/kmeans.cpp.o.d"
+  "/root/repo/src/spectral/kp.cpp" "src/CMakeFiles/specpart.dir/spectral/kp.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/spectral/kp.cpp.o.d"
+  "/root/repo/src/spectral/placement.cpp" "src/CMakeFiles/specpart.dir/spectral/placement.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/spectral/placement.cpp.o.d"
+  "/root/repo/src/spectral/rsb.cpp" "src/CMakeFiles/specpart.dir/spectral/rsb.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/spectral/rsb.cpp.o.d"
+  "/root/repo/src/spectral/sb.cpp" "src/CMakeFiles/specpart.dir/spectral/sb.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/spectral/sb.cpp.o.d"
+  "/root/repo/src/spectral/sfc.cpp" "src/CMakeFiles/specpart.dir/spectral/sfc.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/spectral/sfc.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/specpart.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/CMakeFiles/specpart.dir/util/error.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/util/error.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/specpart.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stringutil.cpp" "src/CMakeFiles/specpart.dir/util/stringutil.cpp.o" "gcc" "src/CMakeFiles/specpart.dir/util/stringutil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clique_models.dir/test_clique_models.cpp.o"
+  "CMakeFiles/test_clique_models.dir/test_clique_models.cpp.o.d"
+  "test_clique_models"
+  "test_clique_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clique_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

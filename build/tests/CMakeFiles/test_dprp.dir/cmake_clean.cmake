@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dprp.dir/test_dprp.cpp.o"
+  "CMakeFiles/test_dprp.dir/test_dprp.cpp.o.d"
+  "test_dprp"
+  "test_dprp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dprp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp_runners.dir/test_exp_runners.cpp.o"
+  "CMakeFiles/test_exp_runners.dir/test_exp_runners.cpp.o.d"
+  "test_exp_runners"
+  "test_exp_runners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp_runners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_algos.dir/test_extended_algos.cpp.o"
+  "CMakeFiles/test_extended_algos.dir/test_extended_algos.cpp.o.d"
+  "test_extended_algos"
+  "test_extended_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fm.dir/test_fm.cpp.o"
+  "CMakeFiles/test_fm.dir/test_fm.cpp.o.d"
+  "test_fm"
+  "test_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_melo.dir/test_melo.cpp.o"
+  "CMakeFiles/test_melo.dir/test_melo.cpp.o.d"
+  "test_melo"
+  "test_melo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_melo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sb_rsb.dir/test_sb_rsb.cpp.o"
+  "CMakeFiles/test_sb_rsb.dir/test_sb_rsb.cpp.o.d"
+  "test_sb_rsb"
+  "test_sb_rsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sb_rsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

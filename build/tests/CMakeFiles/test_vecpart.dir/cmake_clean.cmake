@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vecpart.dir/test_vecpart.cpp.o"
+  "CMakeFiles/test_vecpart.dir/test_vecpart.cpp.o.d"
+  "test_vecpart"
+  "test_vecpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vecpart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
