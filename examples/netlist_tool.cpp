@@ -6,6 +6,7 @@
 // with the chosen algorithm, reports quality, and optionally writes the
 // cluster assignment (one id per line).
 #include <cstdio>
+#include <sstream>
 
 #include "core/drivers.h"
 #include "graph/netlist_io.h"
@@ -15,8 +16,10 @@
 #include "spectral/dprp.h"
 #include "spectral/rsb.h"
 #include "spectral/sb.h"
+#include "util/budget.h"
 #include "util/cli.h"
 #include "util/error.h"
+#include "util/status.h"
 #include "util/stringutil.h"
 
 using namespace specpart;
@@ -30,14 +33,19 @@ int main(int argc, char** argv) {
   cli.add_flag("balance", "0.45", "min cluster fraction for 2-way cuts");
   cli.add_flag("out", "", "write assignment to this file");
   cli.add_flag("report", "false", "print the full quality report");
+  cli.add_flag("diag", "false", "print per-stage diagnostics after the run");
+  cli.add_flag("deadline", "0",
+               "compute budget in seconds (0 = unlimited); on exhaustion the "
+               "best partition found so far is returned");
   try {
     if (!cli.parse(argc, argv)) return 0;
     SP_CHECK_INPUT(cli.positionals().size() == 1,
                    "usage: netlist_tool <file> [flags]; see --help");
     const std::string path = cli.positionals()[0];
+    Diagnostics diag;
     const graph::Hypergraph h = cli.get("format") == "netd"
                                     ? graph::read_netd_file(path)
-                                    : graph::read_hgr_file(path);
+                                    : graph::read_hgr_file(path, &diag);
     std::printf("%s: %zu modules, %zu nets, %zu pins\n", path.c_str(),
                 h.num_nodes(), h.num_nets(), h.num_pins());
 
@@ -45,13 +53,36 @@ int main(int argc, char** argv) {
     const auto k = static_cast<std::uint32_t>(cli.get_int("k"));
     const double balance = cli.get_double("balance");
 
+    ComputeBudget budget;
+    const double deadline = cli.get_double("deadline");
+    part::SolverInfo solver;
+
     part::Partition p;
     if (algo == "melo") {
       core::MeloOptions m;
       m.num_eigenvectors = static_cast<std::size_t>(cli.get_int("d"));
       m.num_starts = 3;
-      p = k == 2 ? core::melo_bipartition(h, m, balance).partition
-                 : core::melo_multiway(h, k, m).partition;
+      m.diagnostics = &diag;
+      if (deadline > 0.0) {
+        budget = ComputeBudget::with_deadline(deadline);
+        m.budget = &budget;
+      }
+      solver.present = true;
+      solver.eigenvectors_requested = m.num_eigenvectors;
+      if (k == 2) {
+        const auto r = core::melo_bipartition(h, m, balance);
+        solver.eigen_converged = r.eigen_converged;
+        solver.eigenvectors_used = r.eigenvectors_used;
+        solver.budget_exhausted = r.budget_exhausted;
+        p = r.partition;
+      } else {
+        const auto r = core::melo_multiway(h, k, m);
+        solver.eigen_converged = r.eigen_converged;
+        solver.eigenvectors_used = r.eigenvectors_used;
+        solver.budget_exhausted = r.budget_exhausted;
+        p = r.partition;
+      }
+      solver.fallbacks = diag.total_fallbacks();
     } else if (algo == "sb") {
       spectral::SbOptions so;
       so.min_fraction = balance;
@@ -61,7 +92,14 @@ int main(int argc, char** argv) {
     } else if (algo == "fm") {
       part::FmOptions fo;
       fo.balance = {balance, 1.0 - balance};
-      p = part::fm_bipartition(h, fo).partition;
+      if (deadline > 0.0) {
+        budget = ComputeBudget::with_deadline(deadline);
+        fo.budget = &budget;
+      }
+      StageTimerScope fm_scope(&diag, "fm");
+      const auto r = part::fm_bipartition(h, fo);
+      if (r.budget_exhausted) diag.mark_budget_exhausted("fm");
+      p = r.partition;
     } else {
       throw Error("unknown --algo '" + algo + "'");
     }
@@ -74,8 +112,14 @@ int main(int argc, char** argv) {
       std::printf(" %zu", p.cluster_size(c));
     std::printf("\n");
 
-    if (cli.get_bool("report"))
-      std::fputs(part::report_string(h, p).c_str(), stdout);
+    if (cli.get_bool("report")) {
+      part::QualityReport qr = part::evaluate(h, p);
+      qr.solver = solver;
+      std::ostringstream report_out;
+      part::print_report(qr, report_out);
+      std::fputs(report_out.str().c_str(), stdout);
+    }
+    if (cli.get_bool("diag")) std::fputs(diag.to_string().c_str(), stdout);
 
     const std::string out = cli.get("out");
     if (!out.empty()) {

@@ -9,10 +9,11 @@
 
 #include "core/drivers.h"
 #include "part/objectives.h"
+#include "util/error.h"
 
 using namespace specpart;
 
-int main() {
+int main() try {
   // A tiny circuit: two 4-module blocks (dense internal nets) joined by a
   // single 2-pin net. Modules 0-3 are block A, modules 4-7 block B.
   graph::Hypergraph netlist(8, {
@@ -48,4 +49,7 @@ int main() {
   std::printf("  recount   : %.0f (%s)\n", recount,
               recount == result.cut ? "consistent" : "MISMATCH");
   return recount == result.cut ? 0 : 1;
+} catch (const Error& e) {
+  std::fprintf(stderr, "quickstart: %s\n", e.what());
+  return 1;
 }

@@ -20,10 +20,11 @@
 #include "graph/graph.h"
 #include "part/objectives.h"
 #include "spectral/embedding.h"
+#include "util/error.h"
 
 using namespace specpart;
 
-int main() {
+int main() try {
   // A 6-vertex graph: two triangles joined by one edge.
   const graph::Graph g(6, {{0, 1, 1.0},
                            {1, 2, 1.0},
@@ -81,4 +82,7 @@ int main() {
     std::printf("%u", best.cluster_of(static_cast<graph::NodeId>(i)));
   std::printf("  (expected the triangles split apart, cut = 1)\n");
   return all_ok && part::cut_weight(g, best) == 1.0 ? 0 : 1;
+} catch (const Error& e) {
+  std::fprintf(stderr, "vector_partitioning: %s\n", e.what());
+  return 1;
 }

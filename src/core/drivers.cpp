@@ -7,6 +7,7 @@
 #include "part/objectives.h"
 #include "part/ordering.h"
 #include "util/error.h"
+#include "util/stringutil.h"
 #include "util/timer.h"
 
 namespace specpart::core {
@@ -31,15 +32,41 @@ std::vector<MeloOrderingRun> melo_orderings(const graph::Hypergraph& h,
   SP_CHECK_INPUT(h.num_nodes() >= 2, "MELO: need at least 2 vertices");
   SP_CHECK_INPUT(opts.num_eigenvectors >= 1, "MELO: need d >= 1");
 
+  Diagnostics* diag = opts.diagnostics;
+  ComputeBudget* budget = opts.budget;
+
   Timer eigen_timer;
-  const graph::Graph g = model::clique_expand(h, opts.net_model);
+  graph::Graph g;
+  {
+    StageTimerScope model_timer(diag, "model");
+    g = model::clique_expand(h, opts.net_model);
+  }
   spectral::EmbeddingOptions eopts;
   eopts.count = opts.num_eigenvectors;
   eopts.skip_trivial = !opts.include_trivial;
   eopts.dense_threshold = opts.dense_threshold;
+  eopts.dense_fallback_limit = opts.dense_fallback_limit;
   eopts.seed = opts.seed;
-  const spectral::EigenBasis basis = spectral::compute_eigenbasis(g, eopts);
+  const spectral::EigenBasis basis =
+      spectral::compute_eigenbasis(g, eopts, diag, budget);
   const double eigen_seconds = eigen_timer.seconds();
+
+  // Consume the solver outcome instead of ignoring it: a degraded basis
+  // lowers the effective d (the paper's own "fewer eigenvectors still
+  // work" justifies running on the converged prefix); an unconverged one
+  // is surfaced as a warning and in every result struct.
+  const std::size_t d_effective = basis.dimension();
+  SP_REQUIRE(d_effective >= 1, "MELO: eigenbasis has no usable column");
+  if (diag != nullptr && d_effective < basis.requested)
+    diag->fallback("ordering",
+                   strprintf("degraded d from %zu to %zu (unconverged "
+                             "trailing eigenpairs)",
+                             basis.requested, d_effective));
+  if (diag != nullptr && !basis.converged)
+    diag->warn("eigensolve",
+               strprintf("eigenbasis not fully converged (%zu of %zu "
+                         "pair(s) met tolerance)",
+                         basis.converged_pairs, d_effective));
 
   const double h0 =
       opts.h_override > 0.0 ? opts.h_override : default_h(basis);
@@ -50,9 +77,17 @@ std::vector<MeloOrderingRun> melo_orderings(const graph::Hypergraph& h,
   std::vector<MeloOrderingRun> runs;
   const std::size_t starts = std::max<std::size_t>(1, opts.num_starts);
   for (std::size_t start = 0; start < starts; ++start) {
+    // Later starts are pure quality improvement: skip them (keeping the
+    // result valid) once the budget is gone. The first start always runs.
+    if (start > 0 && !budget_ok(budget)) {
+      if (diag != nullptr) diag->mark_budget_exhausted("ordering");
+      break;
+    }
     MeloOrderingRun run;
     run.h_initial = h0;
     run.h_final = h0;
+    run.eigen_converged = basis.converged;
+    run.eigenvectors_used = d_effective;
 
     MeloOrderingOptions oopts;
     oopts.selection = opts.selection;
@@ -60,6 +95,7 @@ std::vector<MeloOrderingRun> melo_orderings(const graph::Hypergraph& h,
     oopts.lazy_window = opts.lazy_window;
     oopts.lazy_rerank_interval = opts.lazy_rerank_interval;
     oopts.start_rank = start;
+    oopts.budget = budget;
 
     MeloReadjust readjust;
     const bool do_readjust = opts.readjust_h && opts.h_override <= 0.0 &&
@@ -76,10 +112,16 @@ std::vector<MeloOrderingRun> melo_orderings(const graph::Hypergraph& h,
     }
 
     Timer order_timer;
-    run.ordering = melo_order_vectors(base_instance, oopts,
-                                      do_readjust ? &readjust : nullptr);
+    {
+      StageTimerScope order_scope(diag, "ordering");
+      run.ordering = melo_order_vectors(base_instance, oopts,
+                                        do_readjust ? &readjust : nullptr);
+    }
     run.ordering_seconds = order_timer.seconds();
     run.eigen_seconds = eigen_seconds;
+    run.budget_exhausted = basis.budget_exhausted || !budget_ok(budget);
+    if (run.budget_exhausted && diag != nullptr)
+      diag->mark_budget_exhausted("ordering");
     runs.push_back(std::move(run));
   }
   return runs;
@@ -89,6 +131,7 @@ MeloBipartitionResult melo_bipartition(const graph::Hypergraph& h,
                                        const MeloOptions& opts,
                                        double min_fraction) {
   const std::vector<MeloOrderingRun> runs = melo_orderings(h, opts);
+  StageTimerScope split_scope(opts.diagnostics, "split");
   MeloBipartitionResult best;
   double best_objective = std::numeric_limits<double>::infinity();
   bool have = false;
@@ -99,6 +142,9 @@ MeloBipartitionResult melo_bipartition(const graph::Hypergraph& h,
             : part::best_ratio_cut_split(h, run.ordering);
     best.ordering_seconds += run.ordering_seconds;
     best.eigen_seconds = run.eigen_seconds;
+    best.eigen_converged = run.eigen_converged;
+    best.eigenvectors_used = run.eigenvectors_used;
+    best.budget_exhausted = best.budget_exhausted || run.budget_exhausted;
     if (!split.feasible) continue;
     if (!have || split.objective < best_objective) {
       have = true;
@@ -119,6 +165,7 @@ MeloMultiwayResult melo_multiway(const graph::Hypergraph& h, std::uint32_t k,
                                  std::size_t min_cluster_size,
                                  std::size_t max_cluster_size) {
   const std::vector<MeloOrderingRun> runs = melo_orderings(h, opts);
+  StageTimerScope split_scope(opts.diagnostics, "split");
   spectral::DprpOptions dopts;
   dopts.k = k;
   dopts.min_cluster_size = min_cluster_size;
@@ -130,6 +177,9 @@ MeloMultiwayResult melo_multiway(const graph::Hypergraph& h, std::uint32_t k,
     const spectral::DprpResult dp = spectral::dprp_split(h, run.ordering, dopts);
     best.ordering_seconds += run.ordering_seconds;
     best.eigen_seconds = run.eigen_seconds;
+    best.eigen_converged = run.eigen_converged;
+    best.eigenvectors_used = run.eigenvectors_used;
+    best.budget_exhausted = best.budget_exhausted || run.budget_exhausted;
     if (!have || dp.scaled_cost < best.scaled_cost) {
       have = true;
       best.partition = dp.partition;

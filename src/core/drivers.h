@@ -17,6 +17,8 @@
 #include "part/partition.h"
 #include "spectral/dprp.h"
 #include "spectral/embedding.h"
+#include "util/budget.h"
+#include "util/status.h"
 
 namespace specpart::core {
 
@@ -45,7 +47,18 @@ struct MeloOptions {
   std::size_t num_starts = 1;
   /// Dense eigensolver threshold (passed to the embedding driver).
   std::size_t dense_threshold = 320;
+  /// Last-resort dense solve cap for the eigensolver fallback chain
+  /// (see EmbeddingOptions::dense_fallback_limit; 0 disables).
+  std::size_t dense_fallback_limit = 2048;
   std::uint64_t seed = 0x3E10ULL;
+  /// Optional diagnostics sink (non-owning): per-stage timings, warnings
+  /// and fallback records for this run. nullptr = no recording.
+  Diagnostics* diagnostics = nullptr;
+  /// Optional shared compute budget (non-owning): deadline and/or max
+  /// iterations across eigensolve, ordering and splitting. On exhaustion
+  /// the pipeline returns the best valid partition found so far with
+  /// `budget_exhausted` set instead of running unboundedly.
+  ComputeBudget* budget = nullptr;
 };
 
 /// One constructed ordering with its H bookkeeping and timings.
@@ -55,6 +68,13 @@ struct MeloOrderingRun {
   double h_final = 0.0;
   double eigen_seconds = 0.0;     // shared eigensolve (same for all runs)
   double ordering_seconds = 0.0;  // this run's greedy construction
+  /// True when every eigenvector actually used met the solver tolerance.
+  bool eigen_converged = true;
+  /// Eigenvectors the run was built from; less than
+  /// MeloOptions.num_eigenvectors when the fallback chain degraded d.
+  std::size_t eigenvectors_used = 0;
+  /// True when the compute budget ran out during this run.
+  bool budget_exhausted = false;
 };
 
 /// Builds the eigenbasis once and constructs `opts.num_starts` orderings.
@@ -69,6 +89,11 @@ struct MeloBipartitionResult {
   double ratio_cut = 0.0;      // cut / (|C1| |C2|)
   double eigen_seconds = 0.0;
   double ordering_seconds = 0.0;  // sum over starts
+  /// Eigensolver outcome actually consumed by the run (see MeloOrderingRun).
+  bool eigen_converged = true;
+  std::size_t eigenvectors_used = 0;
+  /// True when the result is best-so-far under an exhausted ComputeBudget.
+  bool budget_exhausted = false;
 };
 
 /// MELO bipartitioning. min_fraction = 0 selects the best ratio-cut split
@@ -84,6 +109,9 @@ struct MeloMultiwayResult {
   double scaled_cost = 0.0;
   double eigen_seconds = 0.0;
   double ordering_seconds = 0.0;
+  bool eigen_converged = true;
+  std::size_t eigenvectors_used = 0;
+  bool budget_exhausted = false;
 };
 
 /// MELO k-way partitioning: the best ordering is split by DP-RP under the

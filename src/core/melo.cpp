@@ -135,11 +135,26 @@ part::Ordering melo_order_vectors(const VectorInstance& inst,
     }
   };
 
+  // Budget exhaustion mid-construction: the ordering must still be a full
+  // permutation for the split sweeps, so the remaining vertices are
+  // appended in id order (cheap, deterministic) instead of aborting.
+  auto complete_cheaply = [&]() {
+    for (graph::NodeId v = 0; v < n; ++v)
+      if (!chosen[v]) {
+        chosen[v] = 1;
+        order.push_back(v);
+      }
+  };
+
   take(pick_start(state, opts.start_rank, n));
 
   if (!opts.lazy_ranking) {
     // Exact O(d n^2): evaluate every unchosen vector each step.
     while (order.size() < n) {
+      if (!budget_charge(opts.budget)) {
+        complete_cheaply();
+        break;
+      }
       graph::NodeId best = UINT32_MAX;
       double best_key = -std::numeric_limits<double>::infinity();
       for (graph::NodeId v = 0; v < n; ++v) {
@@ -185,6 +200,10 @@ part::Ordering melo_order_vectors(const VectorInstance& inst,
 
   rerank();
   while (order.size() < n) {
+    if (!budget_charge(opts.budget)) {
+      complete_cheaply();
+      break;
+    }
     if (window.empty() ||
         since_rerank >= std::max<std::size_t>(1, opts.lazy_rerank_interval)) {
       rerank();

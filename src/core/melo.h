@@ -30,6 +30,7 @@
 
 #include "core/vecpart.h"
 #include "part/ordering.h"
+#include "util/budget.h"
 
 namespace specpart::core {
 
@@ -52,6 +53,11 @@ struct MeloOrderingOptions {
   /// Start the ordering from the (start_rank+1)-th longest vector; distinct
   /// ranks give the diversified multi-start orderings Table 5 uses.
   std::size_t start_rank = 0;
+  /// Optional shared compute budget (one greedy selection = one unit).
+  /// On exhaustion the remaining vertices are appended in a cheap
+  /// deterministic order so the result is still a full permutation — a
+  /// valid, best-effort ordering rather than an aborted one.
+  ComputeBudget* budget = nullptr;
 };
 
 /// Optional mid-construction coordinate readjustment (the paper's

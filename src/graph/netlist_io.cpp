@@ -13,6 +13,12 @@ namespace specpart::graph {
 
 namespace {
 
+/// Upper bound on header-declared counts. A count above this is either a
+/// corrupted file or an allocation-scale attack (the parser pre-sizes its
+/// net table from the header); real netlists are orders of magnitude
+/// smaller.
+constexpr std::size_t kMaxDeclaredCount = std::size_t{1} << 30;
+
 /// Reads the next non-empty, non-comment line; returns false at EOF.
 bool next_content_line(std::istream& in, std::string& line) {
   while (std::getline(in, line)) {
@@ -26,7 +32,7 @@ bool next_content_line(std::istream& in, std::string& line) {
 
 }  // namespace
 
-Hypergraph read_hgr(std::istream& in) {
+Hypergraph read_hgr(std::istream& in, Diagnostics* diag) {
   std::string line;
   SP_CHECK_INPUT(next_content_line(in, line), ".hgr: missing header line");
   const auto header = split_ws(line);
@@ -34,6 +40,10 @@ Hypergraph read_hgr(std::istream& in) {
                  ".hgr: header must be '<#nets> <#vertices> [fmt]'");
   const std::size_t num_nets = parse_size(header[0], ".hgr #nets");
   const std::size_t num_nodes = parse_size(header[1], ".hgr #vertices");
+  SP_CHECK_INPUT(num_nets <= kMaxDeclaredCount,
+                 ".hgr: declared net count is implausibly large");
+  SP_CHECK_INPUT(num_nodes <= kMaxDeclaredCount,
+                 ".hgr: declared vertex count is implausibly large");
   std::size_t fmt = header.size() == 3 ? parse_size(header[2], ".hgr fmt") : 0;
   SP_CHECK_INPUT(fmt == 0 || fmt == 1 || fmt == 10 || fmt == 11,
                  ".hgr: fmt must be one of 0, 1, 10, 11");
@@ -42,6 +52,8 @@ Hypergraph read_hgr(std::istream& in) {
 
   std::vector<std::vector<NodeId>> nets(num_nets);
   std::vector<double> weights(num_nets, 1.0);
+  std::size_t nets_with_duplicates = 0;
+  std::vector<char> pin_seen(num_nodes, 0);
   for (std::size_t e = 0; e < num_nets; ++e) {
     SP_CHECK_INPUT(next_content_line(in, line),
                    ".hgr: fewer net lines than the header promises");
@@ -53,13 +65,22 @@ Hypergraph read_hgr(std::istream& in) {
       first_pin = 1;
     }
     SP_CHECK_INPUT(tokens.size() > first_pin, ".hgr: net with no pins");
+    bool duplicate = false;
     for (std::size_t i = first_pin; i < tokens.size(); ++i) {
       const std::size_t v = parse_size(tokens[i], ".hgr pin");
       SP_CHECK_INPUT(v >= 1 && v <= num_nodes,
                      ".hgr: pin id out of range (ids are 1-based)");
+      duplicate = duplicate || pin_seen[v - 1] != 0;
+      pin_seen[v - 1] = 1;
       nets[e].push_back(static_cast<NodeId>(v - 1));
     }
+    for (NodeId v : nets[e]) pin_seen[v] = 0;
+    nets_with_duplicates += duplicate ? 1 : 0;
   }
+  if (nets_with_duplicates > 0 && diag != nullptr)
+    diag->warn("parse", strprintf(".hgr: %zu net(s) list a pin more than "
+                                  "once; duplicates merged",
+                                  nets_with_duplicates));
   if (has_node_weights) {
     // Vertex weights are parsed for format fidelity but the partitioners in
     // this library treat modules as unit-size (as the paper does); a future
@@ -68,13 +89,15 @@ Hypergraph read_hgr(std::istream& in) {
       SP_CHECK_INPUT(next_content_line(in, line),
                      ".hgr: missing vertex weight lines");
   }
+  SP_CHECK_INPUT(!next_content_line(in, line),
+                 ".hgr: trailing garbage after the declared net count");
   return Hypergraph(num_nodes, std::move(nets), std::move(weights));
 }
 
-Hypergraph read_hgr_file(const std::string& path) {
+Hypergraph read_hgr_file(const std::string& path, Diagnostics* diag) {
   std::ifstream in(path);
   SP_CHECK_INPUT(in.good(), "cannot open .hgr file: " + path);
-  return read_hgr(in);
+  return read_hgr(in, diag);
 }
 
 void write_hgr(const Hypergraph& h, std::ostream& out) {

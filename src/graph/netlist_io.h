@@ -17,12 +17,18 @@
 #include <string>
 
 #include "graph/hypergraph.h"
+#include "util/status.h"
 
 namespace specpart::graph {
 
-/// Parses hMETIS .hgr text. Throws specpart::Error on malformed input.
-Hypergraph read_hgr(std::istream& in);
-Hypergraph read_hgr_file(const std::string& path);
+/// Parses hMETIS .hgr text. Throws specpart::Error on malformed input:
+/// overflowing or allocation-scale header counts, out-of-range pins, nets
+/// missing relative to the header, and trailing garbage after the declared
+/// net (and vertex-weight) lines are all rejected with precise messages.
+/// Recovered anomalies — duplicate pins within a net (merged) — are
+/// reported through the optional `diag` sink.
+Hypergraph read_hgr(std::istream& in, Diagnostics* diag = nullptr);
+Hypergraph read_hgr_file(const std::string& path, Diagnostics* diag = nullptr);
 
 /// Serializes to hMETIS .hgr (with net weights iff any differ from 1).
 void write_hgr(const Hypergraph& h, std::ostream& out);

@@ -5,6 +5,7 @@
 
 #include "linalg/tridiagonal.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 namespace specpart::linalg {
@@ -60,15 +61,23 @@ LanczosResult lanczos_largest_op(
   DenseMatrix z_conv;                 // eigenvectors of T
   bool ritz_valid = false;
 
+  // Test hook: an armed "lanczos.force_nonconverge" fault makes this whole
+  // call report non-convergence (as a clustered spectrum would), driving
+  // callers into their fallback chains. One armed count = one failed call.
+  const bool forced_nonconverge = SP_FAULT("lanczos.force_nonconverge");
+
   auto check_converged = [&]() -> bool {
     const std::size_t m = basis.size();
-    if (m < want) return false;
+    if (m == 0) return false;
+    // Always (re)compute the Ritz decomposition so a truncated run — budget
+    // exhaustion, early breakdown — can still extract its best-so-far pairs.
     t_conv.diag = alphas;
     t_conv.off.assign(m, 0.0);
     for (std::size_t i = 1; i < m; ++i) t_conv.off[i] = betas[i - 1];
     z_conv = DenseMatrix::identity(m);
     tridiagonal_eigen(t_conv, z_conv);
     ritz_valid = true;
+    if (m < want || forced_nonconverge) return false;
     if (m == n) return true;  // exhausted the space: exact
     const double beta_next = betas.size() >= m ? betas[m - 1] : 0.0;
     for (std::size_t i = 0; i < want; ++i) {
@@ -131,6 +140,7 @@ LanczosResult lanczos_largest_op(
       omega_cur = std::move(omega_next);
       omega_next.clear();
     }
+    if (SP_FAULT("lanczos.force_breakdown")) beta = 0.0;
     if (beta <= breakdown_tol) {
       // Invariant subspace found. Restart with a fresh random direction
       // orthogonal to the current basis (T gets a zero coupling, which the
@@ -146,6 +156,7 @@ LanczosResult lanczos_largest_op(
         converged = check_converged();
         break;
       }
+      ++result.breakdown_restarts;
       v = std::move(fresh);
       if (selective) {
         // The restart direction is explicitly orthogonalized.
@@ -166,6 +177,12 @@ LanczosResult lanczos_largest_op(
       converged = true;
       break;
     }
+    // The first iteration always completes, so even an already-expired
+    // budget yields a usable (if poor) one-pair result.
+    if (!budget_charge(opts.budget)) {
+      result.budget_exhausted = true;
+      break;
+    }
   }
   if (!converged) converged = check_converged();
 
@@ -184,6 +201,19 @@ LanczosResult lanczos_largest_op(
     normalize(x);
     result.vectors.set_col(i, x);
   }
+  // Per-pair convergence: the longest leading prefix whose residuals meet
+  // the tolerance. Callers truncate to this prefix when the tail fails.
+  const double beta_tail = (m < n && betas.size() >= m) ? betas[m - 1] : 0.0;
+  result.num_converged = 0;
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t col = m - 1 - i;
+    const double residual = std::fabs(beta_tail * z_conv.at(m - 1, col));
+    if (residual > opts.tolerance * op_scale) break;
+    ++result.num_converged;
+  }
+  if (forced_nonconverge && want > 0)
+    result.num_converged = std::min(result.num_converged, want - 1);
+
   result.iterations = m;
   result.converged = converged && take == want;
   return result;

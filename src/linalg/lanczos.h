@@ -16,6 +16,7 @@
 
 #include "linalg/dense.h"
 #include "linalg/sparse.h"
+#include "util/budget.h"
 
 namespace specpart::linalg {
 
@@ -42,6 +43,11 @@ struct LanczosOptions {
   /// Seed for the random start vector.
   std::uint64_t seed = 0xC0FFEEULL;
   Reorthogonalization reorthogonalization = Reorthogonalization::kFull;
+  /// Optional shared compute budget (nullptr = unlimited). One Lanczos
+  /// iteration costs one budget unit; on exhaustion the solver stops and
+  /// returns the best Ritz pairs of the basis built so far (at least one
+  /// iteration always runs so the result is usable).
+  ComputeBudget* budget = nullptr;
 };
 
 /// Eigenpairs: values[j] ascending, column j of `vectors` the matching
@@ -53,6 +59,14 @@ struct LanczosResult {
   std::size_t iterations = 0;
   /// True if all requested pairs met the residual tolerance.
   bool converged = false;
+  /// Length of the leading prefix of returned pairs that individually met
+  /// the residual tolerance (eigenpair i converges before j for i < j, so
+  /// a prefix is the natural unit of partial success).
+  std::size_t num_converged = 0;
+  /// Invariant-subspace restarts taken (fresh random directions).
+  std::size_t breakdown_restarts = 0;
+  /// True when the iteration stopped because the compute budget ran out.
+  bool budget_exhausted = false;
 };
 
 /// Computes the `opts.num_eigenpairs` smallest eigenpairs of the symmetric

@@ -59,7 +59,9 @@ class FmPass {
   }
 
   /// Runs the pass; returns the total cut improvement kept (>= 0).
-  double run() {
+  /// `budget` (nullable) is polled per move; exhaustion ends the pass
+  /// early — the rewind below still restores the best balanced prefix.
+  double run(ComputeBudget* budget) {
     double cumulative = 0.0;
     double best = 0.0;
     std::size_t best_prefix = 0;
@@ -85,6 +87,7 @@ class FmPass {
       }
       for (const HeapEntry& e : deferred) heap_.push(e);
       if (!found) break;
+      if (!budget_charge(budget)) break;
 
       cumulative += gain_[chosen];
       apply_move(chosen);
@@ -193,10 +196,15 @@ FmResult fm_refine(const graph::Hypergraph& h, const Partition& initial,
   FmResult result;
   result.partition = initial;
   for (std::size_t pass = 0; pass < opts.max_passes; ++pass) {
+    if (!budget_ok(opts.budget)) {
+      result.budget_exhausted = true;
+      break;
+    }
     FmPass engine(h, result.partition, opts.balance, opts.vertex_weights,
                   rng);
-    const double improvement = engine.run();
+    const double improvement = engine.run(opts.budget);
     ++result.passes;
+    if (!budget_ok(opts.budget)) result.budget_exhausted = true;
     if (improvement <= 1e-12) break;
   }
   result.cut = cut_nets(h, result.partition);
@@ -232,8 +240,18 @@ FmResult fm_bipartition(const graph::Hypergraph& h, const FmOptions& opts) {
     start_opts.seed = opts.seed ^ (0x9E3779B97F4A7C15ULL * (start + 1));
     FmResult r = fm_refine(h, init, start_opts);
     if (!have_best || r.cut < best.cut) {
+      const bool exhausted = best.budget_exhausted || r.budget_exhausted;
       best = std::move(r);
+      best.budget_exhausted = exhausted;
       have_best = true;
+    } else {
+      best.budget_exhausted = best.budget_exhausted || r.budget_exhausted;
+    }
+    // Additional starts are quality-only; stop once the budget is gone
+    // (the first start always completes, so the result stays valid).
+    if (!budget_ok(opts.budget)) {
+      best.budget_exhausted = true;
+      break;
     }
   }
   return best;

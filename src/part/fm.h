@@ -11,6 +11,7 @@
 
 #include "graph/hypergraph.h"
 #include "part/partition.h"
+#include "util/budget.h"
 
 namespace specpart::part {
 
@@ -27,12 +28,18 @@ struct FmOptions {
   /// passes the coarse-vertex weights here so balance is measured on the
   /// original vertices.
   std::vector<double> vertex_weights;
+  /// Optional shared compute budget (one FM move = one unit). On
+  /// exhaustion the current pass stops, rewinds to its best prefix as
+  /// usual, and the best balanced partition found so far is returned.
+  ComputeBudget* budget = nullptr;
 };
 
 struct FmResult {
   Partition partition;
   double cut = 0.0;
   std::size_t passes = 0;
+  /// True when refinement stopped early on an exhausted ComputeBudget.
+  bool budget_exhausted = false;
 };
 
 /// Refines `initial` (must be a bipartition) with FM passes until no pass

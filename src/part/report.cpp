@@ -56,6 +56,15 @@ void print_report(const QualityReport& r, std::ostream& out) {
   if (r.k == 2) out << strprintf("  ratio cut   : %.6g\n", r.ratio_cut);
   out << strprintf("  imbalance   : %.3f (max cluster / ideal)\n",
                    r.imbalance);
+  if (r.solver.present) {
+    out << strprintf(
+        "  eigensolver : %s (%zu of %zu eigenvector(s), %zu fallback(s))\n",
+        r.solver.eigen_converged ? "converged" : "NOT converged",
+        r.solver.eigenvectors_used, r.solver.eigenvectors_requested,
+        r.solver.fallbacks);
+    if (r.solver.budget_exhausted)
+      out << "  budget      : EXHAUSTED (best-so-far result)\n";
+  }
   for (std::size_t c = 0; c < r.clusters.size(); ++c) {
     out << strprintf(
         "  cluster %-3zu : %6zu modules, E_h = %-8.6g internal nets = %.6g\n",

@@ -22,6 +22,23 @@ struct ClusterStats {
   double internal_nets = 0.0;
 };
 
+/// Eigensolver / budget outcome of the run that produced the partition.
+/// Partition quality alone cannot reveal a silently degraded solve, so the
+/// drivers' convergence flags are carried into the printed report. Fill it
+/// from a MeloBipartitionResult / MeloMultiwayResult (or leave `present`
+/// false for partitions with no solver provenance).
+struct SolverInfo {
+  bool present = false;
+  /// True when every eigenvector used met the solver tolerance.
+  bool eigen_converged = true;
+  std::size_t eigenvectors_requested = 0;
+  std::size_t eigenvectors_used = 0;
+  /// True when the run returned best-so-far under an exhausted budget.
+  bool budget_exhausted = false;
+  /// Recovery actions (retries, fallbacks, truncations) taken.
+  std::size_t fallbacks = 0;
+};
+
 /// Full quality report of a k-way partition of a netlist.
 struct QualityReport {
   std::uint32_t k = 0;
@@ -38,6 +55,8 @@ struct QualityReport {
   /// max cluster size / (n / k): 1.0 = perfectly balanced.
   double imbalance = 0.0;
   std::vector<ClusterStats> clusters;
+  /// Solver provenance (printed when solver.present).
+  SolverInfo solver;
 };
 
 /// Computes every metric for the partition.

@@ -6,11 +6,37 @@
 #include "linalg/lanczos.h"
 #include "linalg/symmetric_eigen.h"
 #include "util/error.h"
+#include "util/stringutil.h"
 
 namespace specpart::spectral {
 
+namespace {
+
+constexpr const char* kStage = "eigensolve";
+
+void note_fallback(Diagnostics* diag, const std::string& message) {
+  if (diag != nullptr) diag->fallback(kStage, message);
+}
+
+/// Runs one Lanczos attempt and records its internal recoveries.
+linalg::LanczosResult run_attempt(const linalg::SymCsrMatrix& q,
+                                  const linalg::LanczosOptions& lopts,
+                                  Diagnostics* diag) {
+  linalg::LanczosResult result = linalg::lanczos_smallest(q, lopts);
+  if (result.breakdown_restarts > 0)
+    note_fallback(diag,
+                  strprintf("Lanczos breakdown: %zu invariant-subspace "
+                            "restart(s) with fresh random directions",
+                            result.breakdown_restarts));
+  return result;
+}
+
+}  // namespace
+
 EigenBasis compute_eigenbasis(const graph::Graph& g,
-                              const EmbeddingOptions& opts) {
+                              const EmbeddingOptions& opts,
+                              Diagnostics* diag, ComputeBudget* budget) {
+  StageTimerScope stage_timer(diag, kStage);
   const std::size_t n = g.num_nodes();
   const std::size_t extra = opts.skip_trivial ? 1 : 0;
   const std::size_t want = std::min(n, opts.count + extra);
@@ -19,32 +45,107 @@ EigenBasis compute_eigenbasis(const graph::Graph& g,
   EigenBasis basis;
   basis.n = n;
   basis.laplacian_trace = q.trace();
+  basis.requested = want >= extra ? want - extra : 0;
 
   linalg::Vec values;
   linalg::DenseMatrix vectors;
   bool converged = false;
+  std::size_t num_converged = 0;
   if (n <= opts.dense_threshold) {
     linalg::EigenDecomposition dec =
         linalg::solve_symmetric_eigen_smallest(q.to_dense(), want);
     values = std::move(dec.values);
     vectors = std::move(dec.vectors);
     converged = true;
+    num_converged = values.size();
   } else {
     linalg::LanczosOptions lopts;
     lopts.num_eigenpairs = want;
     lopts.tolerance = opts.tolerance;
     lopts.seed = opts.seed;
-    linalg::LanczosResult result = linalg::lanczos_smallest(q, lopts);
-    // Retry with a larger Krylov space if unconverged (clustered spectra).
-    for (int attempt = 0; attempt < 2 && !result.converged; ++attempt) {
-      lopts.max_iterations =
-          std::min(n, std::max<std::size_t>(result.iterations * 2, 160));
-      lopts.seed += 1;
-      result = linalg::lanczos_smallest(q, lopts);
+    lopts.budget = budget;
+    linalg::LanczosResult result = run_attempt(q, lopts, diag);
+
+    // Hardened fallback chain for clustered / pathological spectra. Each
+    // escalation is recorded; an exhausted budget short-circuits to the
+    // best-so-far basis.
+    enum class Step { kReseed, kEnlarge, kFullReorth, kDense, kTruncate };
+    Step step = Step::kReseed;
+    bool dense_solved = false;
+    while (!result.converged && !result.budget_exhausted &&
+           budget_ok(budget)) {
+      if (step == Step::kReseed) {
+        note_fallback(diag, "eigensolver did not converge; reseeded restart");
+        lopts.seed = lopts.seed * 0x9E3779B97F4A7C15ULL + 1;
+        result = run_attempt(q, lopts, diag);
+        step = Step::kEnlarge;
+      } else if (step == Step::kEnlarge) {
+        lopts.max_iterations =
+            std::min(n, std::max<std::size_t>(result.iterations * 2, 160));
+        note_fallback(diag, strprintf("enlarged Krylov space to %zu",
+                                      lopts.max_iterations));
+        result = run_attempt(q, lopts, diag);
+        step = Step::kFullReorth;
+      } else if (step == Step::kFullReorth) {
+        if (lopts.reorthogonalization !=
+            linalg::Reorthogonalization::kFull) {
+          lopts.reorthogonalization = linalg::Reorthogonalization::kFull;
+          note_fallback(diag, "switched to full reorthogonalization");
+          result = run_attempt(q, lopts, diag);
+        }
+        step = Step::kDense;
+      } else if (step == Step::kDense) {
+        if (opts.dense_fallback_limit > 0 && n <= opts.dense_fallback_limit) {
+          note_fallback(
+              diag, strprintf("dense eigensolver fallback (n = %zu above "
+                              "dense_threshold = %zu)",
+                              n, opts.dense_threshold));
+          linalg::EigenDecomposition dec =
+              linalg::solve_symmetric_eigen_smallest(q.to_dense(), want);
+          values = std::move(dec.values);
+          vectors = std::move(dec.vectors);
+          converged = true;
+          num_converged = values.size();
+          dense_solved = true;
+          break;
+        }
+        step = Step::kTruncate;
+      } else {  // Step::kTruncate — terminal: degrade, never abort.
+        break;
+      }
     }
-    values = std::move(result.values);
-    vectors = std::move(result.vectors);
-    converged = result.converged;
+
+    if (!dense_solved) {
+      if (result.budget_exhausted && diag != nullptr)
+        diag->mark_budget_exhausted(kStage);
+      basis.budget_exhausted = result.budget_exhausted;
+      converged = result.converged;
+      num_converged = result.num_converged;
+      // Truncate to the converged prefix when trailing pairs failed but a
+      // usable prefix exists (the paper's own thesis licenses running with
+      // fewer eigenvectors). Keep at least one non-trivial column so
+      // downstream stages always have a basis to work with.
+      const std::size_t floor_cols = std::min(result.values.size(), extra + 1);
+      const std::size_t keep_cols =
+          std::max(std::min(num_converged, result.values.size()), floor_cols);
+      if (!converged && keep_cols < result.values.size() &&
+          !result.budget_exhausted) {
+        note_fallback(diag,
+                      strprintf("truncated eigenbasis to the converged "
+                                "prefix: %zu of %zu pair(s)",
+                                keep_cols, result.values.size()));
+        basis.truncated = true;
+        converged = keep_cols <= num_converged;
+      }
+      values.assign(result.values.begin(),
+                    result.values.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            basis.truncated ? keep_cols
+                                            : result.values.size()));
+      vectors = linalg::DenseMatrix(n, values.size());
+      for (std::size_t j = 0; j < values.size(); ++j)
+        vectors.set_col(j, result.vectors.col(j));
+    }
   }
 
   const std::size_t have = values.size();
@@ -56,6 +157,13 @@ EigenBasis compute_eigenbasis(const graph::Graph& g,
   for (std::size_t j = 0; j < keep; ++j)
     basis.vectors.set_col(j, vectors.col(j + extra));
   basis.converged = converged;
+  basis.converged_pairs =
+      std::min(keep, num_converged >= extra ? num_converged - extra : 0);
+  if (converged) basis.converged_pairs = keep;
+  if (diag != nullptr && keep < basis.requested)
+    diag->warn(kStage, strprintf("eigenbasis degraded: %zu of %zu requested "
+                                 "pair(s) available",
+                                 keep, basis.requested));
   return basis;
 }
 

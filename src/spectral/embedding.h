@@ -1,15 +1,21 @@
 // Spectral embedding driver: Laplacian eigenpairs of a graph.
 //
 // Chooses between the exact dense solver (small graphs, test oracles) and
-// Lanczos (everything else), with automatic retry at a larger Krylov
-// dimension if the first attempt does not converge. All spectral heuristics
-// (SB, RSB, KP, SFC, MELO) get their eigenvectors from here.
+// Lanczos (everything else). The Lanczos path is wrapped in a hardened
+// fallback chain — reseeded restart, enlarged Krylov space, full
+// reorthogonalization, dense solve even above the threshold, and finally
+// truncation to the converged eigenpair prefix — so a clustered spectrum
+// degrades the basis gracefully instead of aborting the pipeline. Every
+// recovery step is recorded in the optional Diagnostics sink. All spectral
+// heuristics (SB, RSB, KP, SFC, MELO) get their eigenvectors from here.
 #pragma once
 
 #include <cstdint>
 
 #include "graph/graph.h"
 #include "linalg/dense.h"
+#include "util/budget.h"
+#include "util/status.h"
 
 namespace specpart::spectral {
 
@@ -24,6 +30,10 @@ struct EmbeddingOptions {
   std::size_t dense_threshold = 320;
   double tolerance = 1e-8;
   std::uint64_t seed = 0xABCDEFULL;
+  /// Last-resort dense solve is attempted when every Lanczos fallback
+  /// fails and n <= dense_fallback_limit (0 disables the dense fallback,
+  /// leaving truncation as the terminal recovery).
+  std::size_t dense_fallback_limit = 2048;
 };
 
 /// Eigenpairs of the Laplacian plus the invariants MELO's H-selection needs.
@@ -36,13 +46,31 @@ struct EigenBasis {
   /// the unused ones; drives the H estimate (reduction.h).
   double laplacian_trace = 0.0;
   std::size_t n = 0;
+  /// True when every *returned* pair met the residual tolerance.
   bool converged = false;
+  /// Pairs the caller asked for (after trivial-pair accounting). When
+  /// dimension() < requested the basis was truncated by the fallback chain
+  /// and downstream d should degrade to dimension().
+  std::size_t requested = 0;
+  /// Leading returned pairs that individually met the tolerance.
+  std::size_t converged_pairs = 0;
+  /// True when the fallback chain truncated the basis to its converged
+  /// prefix (dimension() < requested).
+  bool truncated = false;
+  /// True when the eigensolve stopped early on an exhausted ComputeBudget.
+  bool budget_exhausted = false;
 
   std::size_t dimension() const { return values.size(); }
 };
 
 /// Computes the smallest Laplacian eigenpairs of `g` per `opts`.
+/// `diag` (optional) receives stage timing, fallback and warning records;
+/// `budget` (optional) bounds the eigensolve — on exhaustion the best
+/// basis built so far is returned with `budget_exhausted` set. The result
+/// always has >= 1 column for a non-empty graph.
 EigenBasis compute_eigenbasis(const graph::Graph& g,
-                              const EmbeddingOptions& opts);
+                              const EmbeddingOptions& opts,
+                              Diagnostics* diag = nullptr,
+                              ComputeBudget* budget = nullptr);
 
 }  // namespace specpart::spectral

@@ -1,0 +1,47 @@
+#include "util/fault.h"
+
+#ifdef SPECPART_FAULT_INJECTION
+
+#include <map>
+#include <string>
+
+namespace specpart::fault {
+
+namespace {
+
+struct PointState {
+  std::size_t armed = 0;      // remaining queries that fire
+  std::size_t triggered = 0;  // fires since the last reset()
+};
+
+// Single registry, no locking: fault injection is a test-only facility and
+// the test harness drives the pipelines from one thread.
+std::map<std::string, PointState>& registry() {
+  static std::map<std::string, PointState> points;
+  return points;
+}
+
+}  // namespace
+
+void arm(std::string_view point, std::size_t count) {
+  registry()[std::string(point)].armed = count;
+}
+
+void reset() { registry().clear(); }
+
+bool fires(std::string_view point) {
+  auto it = registry().find(std::string(point));
+  if (it == registry().end() || it->second.armed == 0) return false;
+  --it->second.armed;
+  ++it->second.triggered;
+  return true;
+}
+
+std::size_t triggered(std::string_view point) {
+  auto it = registry().find(std::string(point));
+  return it == registry().end() ? 0 : it->second.triggered;
+}
+
+}  // namespace specpart::fault
+
+#endif  // SPECPART_FAULT_INJECTION

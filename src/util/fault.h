@@ -1,0 +1,61 @@
+// Compile-time-gated fault injection for resilience testing.
+//
+// A fault *point* is a named site in library code that asks "should I fail
+// here?" via SP_FAULT("name"). Tests arm points with fault::arm(name, n):
+// the next n queries of that point report "fire" and the library exercises
+// its recovery path (Lanczos breakdown, non-convergence, ...).
+//
+// The whole subsystem is gated by the CMake option SPECPART_FAULT_INJECTION
+// (compile definition of the same name). When the option is OFF, SP_FAULT
+// expands to the literal `false` and every helper is an empty inline — the
+// compiler deletes the branches, making the hooks zero-cost in production
+// builds. Fault points never change behavior unless explicitly armed.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace specpart::fault {
+
+#ifdef SPECPART_FAULT_INJECTION
+
+/// Arms `point`: its next `count` queries fire. Re-arming replaces the
+/// previous count.
+void arm(std::string_view point, std::size_t count = 1);
+
+/// Disarms every point and clears all trigger counts.
+void reset();
+
+/// Queries `point`; fires (and consumes one armed count) when armed.
+/// Library code should use SP_FAULT instead of calling this directly.
+bool fires(std::string_view point);
+
+/// How many times `point` has fired since the last reset().
+std::size_t triggered(std::string_view point);
+
+#else  // !SPECPART_FAULT_INJECTION — everything folds away.
+
+inline void arm(std::string_view, std::size_t = 1) {}
+inline void reset() {}
+inline bool fires(std::string_view) { return false; }
+inline std::size_t triggered(std::string_view) { return 0; }
+
+#endif
+
+/// RAII guard for tests: disarms everything on scope exit so one test's
+/// armed faults cannot leak into the next.
+class ScopedFaults {
+ public:
+  ScopedFaults() = default;
+  ~ScopedFaults() { reset(); }
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+};
+
+}  // namespace specpart::fault
+
+#ifdef SPECPART_FAULT_INJECTION
+#define SP_FAULT(point) (::specpart::fault::fires(point))
+#else
+#define SP_FAULT(point) (false)
+#endif

@@ -1,0 +1,111 @@
+#include "util/status.h"
+
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+#include "util/stringutil.h"
+
+namespace specpart {
+
+namespace {
+
+double monotonic_seconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kDegraded:
+      return "degraded";
+    case StatusCode::kBudgetExhausted:
+      return "budget_exhausted";
+  }
+  return "?";
+}
+
+StageStats& Diagnostics::stage_entry(const std::string& name) {
+  for (StageStats& s : stages_)
+    if (s.name == name) return s;
+  stages_.push_back(StageStats{name, 0.0, 0, 0});
+  return stages_.back();
+}
+
+void Diagnostics::record_stage(const std::string& name, double seconds) {
+  StageStats& s = stage_entry(name);
+  s.seconds += seconds;
+  ++s.calls;
+}
+
+void Diagnostics::warn(const std::string& stage, const std::string& message) {
+  events_.push_back({stage, message, /*is_fallback=*/false});
+}
+
+void Diagnostics::fallback(const std::string& stage,
+                           const std::string& message) {
+  events_.push_back({stage, message, /*is_fallback=*/true});
+  ++stage_entry(stage).fallbacks;
+  degraded_ = true;
+}
+
+void Diagnostics::mark_budget_exhausted(const std::string& stage) {
+  if (!budget_exhausted_)
+    events_.push_back({stage, "compute budget exhausted; returning best "
+                              "result found so far",
+                       /*is_fallback=*/false});
+  budget_exhausted_ = true;
+}
+
+StatusCode Diagnostics::status() const {
+  if (budget_exhausted_) return StatusCode::kBudgetExhausted;
+  if (degraded_) return StatusCode::kDegraded;
+  return StatusCode::kOk;
+}
+
+std::size_t Diagnostics::total_fallbacks() const {
+  std::size_t total = 0;
+  for (const StageStats& s : stages_) total += s.fallbacks;
+  return total;
+}
+
+std::size_t Diagnostics::stage_fallbacks(const std::string& stage) const {
+  for (const StageStats& s : stages_)
+    if (s.name == stage) return s.fallbacks;
+  return 0;
+}
+
+void Diagnostics::print(std::ostream& out) const {
+  out << strprintf("diagnostics: status=%s, %zu fallback(s)\n",
+                   status_code_name(status()), total_fallbacks());
+  for (const StageStats& s : stages_) {
+    out << strprintf("  stage %-12s: %9.3f ms  (%zu call(s), %zu fallback(s))\n",
+                     s.name.c_str(), s.seconds * 1e3, s.calls, s.fallbacks);
+  }
+  for (const DiagnosticEvent& e : events_) {
+    out << "  " << (e.is_fallback ? "fallback" : "warning ") << " ["
+        << e.stage << "] " << e.message << '\n';
+  }
+}
+
+std::string Diagnostics::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+StageTimerScope::StageTimerScope(Diagnostics* diag, std::string name)
+    : diag_(diag), name_(std::move(name)),
+      start_seconds_(diag ? monotonic_seconds() : 0.0) {}
+
+StageTimerScope::~StageTimerScope() {
+  if (diag_ != nullptr)
+    diag_->record_stage(name_, monotonic_seconds() - start_seconds_);
+}
+
+}  // namespace specpart

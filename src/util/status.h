@@ -1,0 +1,110 @@
+// Structured pipeline diagnostics: status codes, per-stage wall-clock
+// timings, warnings, and retry/fallback counters.
+//
+// The library's third error-reporting channel (after the Error exception
+// and SP_ASSERT, see error.h): conditions that are *recovered from* — an
+// eigensolver that needed a restart, a truncated eigenbasis, an exhausted
+// compute budget — must not abort the pipeline, but must not be silent
+// either. Every driver accepts an optional Diagnostics sink; passing
+// nullptr (the default) keeps the hot paths free of bookkeeping.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace specpart {
+
+/// Overall outcome of a pipeline run.
+enum class StatusCode {
+  /// Everything converged on the first attempt within budget.
+  kOk = 0,
+  /// A valid result was produced, but only via a fallback (eigensolver
+  /// retry, truncated eigenbasis, degraded d, ...).
+  kDegraded = 1,
+  /// The compute budget ran out; the result is the best found so far.
+  kBudgetExhausted = 2,
+};
+
+const char* status_code_name(StatusCode code);
+
+/// Accumulated statistics of one named pipeline stage.
+struct StageStats {
+  std::string name;
+  double seconds = 0.0;
+  /// Calls into the stage (a stage entered twice accumulates).
+  std::size_t calls = 0;
+  /// Recovery actions taken inside this stage (see Diagnostics::fallback).
+  std::size_t fallbacks = 0;
+};
+
+/// One recorded warning: a recovered anomaly worth surfacing to the user.
+struct DiagnosticEvent {
+  std::string stage;
+  std::string message;
+  /// True when the event was a fallback (a recovery action), false when it
+  /// is an informational warning.
+  bool is_fallback = false;
+};
+
+/// Mutable diagnostics sink threaded through the partitioning pipelines.
+/// Not thread-safe; one instance per pipeline run.
+class Diagnostics {
+ public:
+  /// Accumulates `seconds` of wall-clock time into stage `name`
+  /// (creating the stage on first use).
+  void record_stage(const std::string& name, double seconds);
+
+  /// Records an informational warning against a stage.
+  void warn(const std::string& stage, const std::string& message);
+
+  /// Records a recovery action (retry, fallback, truncation) against a
+  /// stage and downgrades the status to at least kDegraded.
+  void fallback(const std::string& stage, const std::string& message);
+
+  /// Marks the run as budget-limited (kBudgetExhausted dominates
+  /// kDegraded in the overall status).
+  void mark_budget_exhausted(const std::string& stage);
+
+  StatusCode status() const;
+  bool budget_exhausted() const { return budget_exhausted_; }
+
+  const std::vector<StageStats>& stages() const { return stages_; }
+  const std::vector<DiagnosticEvent>& events() const { return events_; }
+
+  /// Total fallbacks across all stages.
+  std::size_t total_fallbacks() const;
+
+  /// Fallbacks recorded against one stage (0 if the stage is unknown).
+  std::size_t stage_fallbacks(const std::string& stage) const;
+
+  /// Human-readable rendering: status, per-stage table, event log.
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  StageStats& stage_entry(const std::string& name);
+
+  std::vector<StageStats> stages_;
+  std::vector<DiagnosticEvent> events_;
+  bool degraded_ = false;
+  bool budget_exhausted_ = false;
+};
+
+/// RAII helper: times a scope and accumulates it into `diag` (may be
+/// nullptr, in which case the scope is free).
+class StageTimerScope {
+ public:
+  StageTimerScope(Diagnostics* diag, std::string name);
+  ~StageTimerScope();
+  StageTimerScope(const StageTimerScope&) = delete;
+  StageTimerScope& operator=(const StageTimerScope&) = delete;
+
+ private:
+  Diagnostics* diag_;
+  std::string name_;
+  double start_seconds_;
+};
+
+}  // namespace specpart

@@ -1,6 +1,7 @@
 #include "util/stringutil.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -52,7 +53,11 @@ std::size_t parse_size(std::string_view s, std::string_view what) {
   for (char c : s) {
     SP_CHECK_INPUT(std::isdigit(static_cast<unsigned char>(c)),
                    std::string(what) + ": bad integer '" + std::string(s) + "'");
-    value = value * 10 + static_cast<std::size_t>(c - '0');
+    const auto digit = static_cast<std::size_t>(c - '0');
+    SP_CHECK_INPUT(value <= (SIZE_MAX - digit) / 10,
+                   std::string(what) + ": integer overflow in '" +
+                       std::string(s) + "'");
+    value = value * 10 + digit;
   }
   return value;
 }

@@ -64,6 +64,55 @@ TEST(EdgeCases, CompleteNetOverEverything) {
   EXPECT_DOUBLE_EQ(r.cut, 1.0);  // only the big net is cut
 }
 
+// --- Degenerate inputs through the full MELO driver -------------------------
+
+TEST(EdgeCases, DisconnectedNetlistFullDriver) {
+  // Two components end-to-end: eigensolve (multiple zero eigenvalues),
+  // ordering, and the balanced split must all survive lambda_2 = 0.
+  graph::Hypergraph h(8, {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}, {6, 7}});
+  core::MeloOptions m;
+  m.num_eigenvectors = 4;
+  const auto r = core::melo_bipartition(h, m, 0.5);
+  EXPECT_TRUE(part::is_permutation(r.ordering, 8));
+  EXPECT_EQ(r.partition.cluster_size(0), 4u);
+  EXPECT_EQ(r.partition.cluster_size(1), 4u);
+  EXPECT_DOUBLE_EQ(r.cut, 0.0);  // components separate cleanly
+}
+
+TEST(EdgeCases, SingleVertexNetlistRejectedCleanly) {
+  // One module cannot be bipartitioned: a recoverable Error, not a crash
+  // or an SP_ASSERT abort.
+  graph::Hypergraph h(1, {});
+  core::MeloOptions m;
+  EXPECT_THROW(core::melo_bipartition(h, m, 0.45), Error);
+  EXPECT_THROW(core::melo_orderings(h, m), Error);
+}
+
+TEST(EdgeCases, AllIsolatedVerticesFullDriver) {
+  // No nets at all: the Laplacian is the zero matrix (fully degenerate
+  // spectrum). Any balanced split is optimal with cut 0.
+  graph::Hypergraph h(6, {});
+  core::MeloOptions m;
+  m.num_eigenvectors = 3;
+  const auto r = core::melo_bipartition(h, m, 0.5);
+  EXPECT_TRUE(part::is_permutation(r.ordering, 6));
+  EXPECT_EQ(r.partition.cluster_size(0), 3u);
+  EXPECT_EQ(r.partition.cluster_size(1), 3u);
+  EXPECT_DOUBLE_EQ(r.cut, 0.0);
+}
+
+TEST(EdgeCases, SingleNetSpanningAllVerticesFullDriver) {
+  // The only net covers every vertex: every bipartition cuts it, and the
+  // clique model is a complete graph (maximally clustered spectrum).
+  graph::Hypergraph h(6, {{0, 1, 2, 3, 4, 5}});
+  core::MeloOptions m;
+  m.num_eigenvectors = 3;
+  const auto r = core::melo_bipartition(h, m, 0.5);
+  EXPECT_EQ(r.partition.cluster_size(0), 3u);
+  EXPECT_EQ(r.partition.cluster_size(1), 3u);
+  EXPECT_DOUBLE_EQ(r.cut, 1.0);
+}
+
 // --- Weighted nets through the whole stack ---------------------------------
 
 TEST(EdgeCases, WeightedNetsFlowThroughMelo) {

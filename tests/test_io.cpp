@@ -63,6 +63,56 @@ TEST(Hgr, RejectsTruncatedFile) {
   EXPECT_THROW(read_hgr(in), Error);
 }
 
+TEST(Hgr, RejectsIntegerOverflowInHeader) {
+  // 2^64-scale counts must be caught during parsing, not wrap around.
+  std::istringstream in("99999999999999999999999 2\n1 2\n");
+  try {
+    read_hgr(in);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("overflow"), std::string::npos);
+  }
+}
+
+TEST(Hgr, RejectsAllocationScaleHeader) {
+  // Parseable but absurd counts must not drive a pre-allocation.
+  std::istringstream in("4611686018427387904 2\n1 2\n");
+  try {
+    read_hgr(in);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausibly large"),
+              std::string::npos);
+  }
+}
+
+TEST(Hgr, RejectsTrailingGarbage) {
+  std::istringstream in("1 2\n1 2\n1 2\n");
+  try {
+    read_hgr(in);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing garbage"),
+              std::string::npos);
+  }
+}
+
+TEST(Hgr, TrailingCommentsAndBlanksAreNotGarbage) {
+  std::istringstream in("1 2\n1 2\n% trailing comment\n\n");
+  const Hypergraph h = read_hgr(in);
+  EXPECT_EQ(h.num_nets(), 1u);
+}
+
+TEST(Hgr, DuplicatePinsMergedAndReported) {
+  std::istringstream in("2 3\n1 1 2\n2 3\n");
+  Diagnostics diag;
+  const Hypergraph h = read_hgr(in, &diag);
+  EXPECT_EQ(h.net(0).size(), 2u);  // duplicate merged, parse still succeeds
+  ASSERT_EQ(diag.events().size(), 1u);
+  EXPECT_NE(diag.events()[0].message.find("duplicate"), std::string::npos);
+  EXPECT_EQ(diag.status(), StatusCode::kOk);  // a warning, not a fallback
+}
+
 TEST(Hgr, RoundTrip) {
   Hypergraph h(4, {{0, 1, 2}, {2, 3}}, {1.0, 1.0});
   std::ostringstream out;
