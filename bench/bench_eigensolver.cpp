@@ -62,6 +62,26 @@ BENCHMARK(BM_LanczosSelective)
     ->Args({6000, 10})
     ->Unit(benchmark::kMillisecond);
 
+void BM_LanczosSmallestThreaded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const linalg::SymCsrMatrix q = benchmark_laplacian(n);
+  for (auto _ : state) {
+    linalg::LanczosOptions opts;
+    opts.num_eigenpairs = 10;
+    opts.parallel = ParallelConfig::with_threads(threads);
+    benchmark::DoNotOptimize(linalg::lanczos_smallest(q, opts));
+  }
+  state.SetLabel("n=" + std::to_string(n) + " d=10 threads:" +
+                 std::to_string(threads));
+}
+BENCHMARK(BM_LanczosSmallestThreaded)
+    ->Args({2000, 1})
+    ->Args({2000, 2})
+    ->Args({2000, 4})
+    ->Args({2000, 8})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DenseEigenOracle(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const linalg::DenseMatrix a = benchmark_laplacian(n).to_dense();
@@ -84,6 +104,26 @@ void BM_SparseMatvec(benchmark::State& state) {
                           static_cast<std::int64_t>(q.nnz()));
 }
 BENCHMARK(BM_SparseMatvec)->Arg(2000)->Arg(6000)->Arg(20000);
+
+void BM_SparseMatvecThreaded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const linalg::SymCsrMatrix q = benchmark_laplacian(n);
+  const ParallelConfig par = ParallelConfig::with_threads(threads);
+  linalg::Vec x(n, 1.0), y;
+  for (auto _ : state) {
+    q.matvec(x, y, par);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(q.nnz()));
+  state.SetLabel("threads:" + std::to_string(threads));
+}
+BENCHMARK(BM_SparseMatvecThreaded)
+    ->Args({20000, 1})
+    ->Args({20000, 2})
+    ->Args({20000, 4})
+    ->Args({20000, 8});
 
 }  // namespace
 

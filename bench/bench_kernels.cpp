@@ -59,6 +59,62 @@ void BM_MeloOrderingLazy(benchmark::State& state) {
 BENCHMARK(BM_MeloOrderingLazy)->Arg(500)->Arg(1500)->Arg(3000)->Unit(
     benchmark::kMillisecond);
 
+void BM_MeloOrderingExactThreaded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const graph::Hypergraph h = make_netlist(n);
+  const core::VectorInstance inst = make_vectors(h, 10);
+  core::MeloOrderingOptions opts;
+  opts.parallel = ParallelConfig::with_threads(threads);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::melo_order_vectors(inst, opts));
+  state.SetLabel("n=" + std::to_string(n) + " d=10 threads:" +
+                 std::to_string(threads));
+}
+BENCHMARK(BM_MeloOrderingExactThreaded)
+    ->Args({5000, 1})
+    ->Args({5000, 2})
+    ->Args({5000, 4})
+    ->Args({5000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MeloOrderingLazyThreaded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const graph::Hypergraph h = make_netlist(n);
+  const core::VectorInstance inst = make_vectors(h, 10);
+  core::MeloOrderingOptions opts;
+  opts.lazy_ranking = true;
+  opts.parallel = ParallelConfig::with_threads(threads);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::melo_order_vectors(inst, opts));
+  state.SetLabel("n=" + std::to_string(n) + " d=10 lazy threads:" +
+                 std::to_string(threads));
+}
+BENCHMARK(BM_MeloOrderingLazyThreaded)
+    ->Args({5000, 1})
+    ->Args({5000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DprpSplitThreaded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const graph::Hypergraph h = make_netlist(n);
+  core::MeloOptions m;
+  const auto runs = core::melo_orderings(h, m);
+  spectral::DprpOptions opts;
+  opts.k = 10;
+  opts.parallel = ParallelConfig::with_threads(threads);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(spectral::dprp_split(h, runs[0].ordering, opts));
+  state.SetLabel("n=" + std::to_string(n) + " k=10 threads:" +
+                 std::to_string(threads));
+}
+BENCHMARK(BM_DprpSplitThreaded)
+    ->Args({1500, 1})
+    ->Args({1500, 8})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DprpSplit(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto k = static_cast<std::uint32_t>(state.range(1));

@@ -1,0 +1,207 @@
+// bench_report_tool: times the parallel compute kernels at 1 thread (the
+// serial reference) and at an oversubscribed thread count, and writes the
+// results as JSON. The `bench_report` CMake target runs the two
+// google-benchmark binaries for human-readable output and then this tool to
+// refresh BENCH_kernels.json, the committed trajectory baseline.
+//
+//   $ ./bench_report_tool --out BENCH_kernels.json [--scale 1.0] [--threads 8]
+//
+// On a single-core host the "parallel" numbers measure pure threading
+// overhead (speedup <= 1.0 is expected); the host core count is recorded in
+// the JSON metadata so the baseline is interpretable either way.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/drivers.h"
+#include "core/melo.h"
+#include "core/reduction.h"
+#include "graph/generator.h"
+#include "graph/laplacian.h"
+#include "linalg/lanczos.h"
+#include "model/clique_models.h"
+#include "spectral/dprp.h"
+#include "spectral/embedding.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+using namespace specpart;
+
+namespace {
+
+struct KernelResult {
+  std::string name;
+  std::string instance;
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+};
+
+graph::Hypergraph make_netlist(std::size_t modules) {
+  graph::GeneratorConfig cfg;
+  cfg.num_modules = modules;
+  cfg.num_nets = modules + modules / 10;
+  cfg.seed = 1234;
+  return graph::generate_netlist(cfg);
+}
+
+core::VectorInstance make_vectors(const graph::Hypergraph& h, std::size_t d) {
+  const graph::Graph g =
+      model::clique_expand(h, model::NetModel::kPartitioningSpecific);
+  spectral::EmbeddingOptions eo;
+  eo.count = d;
+  const spectral::EigenBasis basis = spectral::compute_eigenbasis(g, eo);
+  return core::build_scaled_instance(basis, core::CoordScaling::kSqrtGap,
+                                     core::default_h(basis));
+}
+
+/// Median-of-3 wall-clock seconds of `fn()`.
+template <class Fn>
+double time_median(Fn&& fn) {
+  std::vector<double> samples;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer t;
+    fn();
+    samples.push_back(t.seconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[1];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_report_tool",
+          "time the parallel kernels and write BENCH_kernels.json");
+  cli.add_flag("out", "BENCH_kernels.json", "output JSON path");
+  cli.add_flag("scale", "1.0", "instance size factor");
+  cli.add_flag("threads", "0",
+               "parallel thread count (0 = min(8, 2 x hardware cores))");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const double scale = cli.get_double("scale");
+    const std::size_t cores =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    std::size_t threads = static_cast<std::size_t>(cli.get_int("threads"));
+    if (threads == 0) threads = std::min<std::size_t>(8, 2 * cores);
+    const ParallelConfig serial;
+    const ParallelConfig par = ParallelConfig::with_threads(threads);
+
+    auto scaled = [&](std::size_t n) {
+      return std::max<std::size_t>(64, static_cast<std::size_t>(
+                                           static_cast<double>(n) * scale));
+    };
+    std::vector<KernelResult> results;
+
+    {
+      const std::size_t n = scaled(5000);
+      const graph::Hypergraph h = make_netlist(n);
+      const core::VectorInstance inst = make_vectors(h, 10);
+      core::MeloOrderingOptions opts;
+      KernelResult r{"melo_exact", "n=" + std::to_string(n) + " d=10"};
+      opts.parallel = serial;
+      r.serial_seconds =
+          time_median([&] { core::melo_order_vectors(inst, opts); });
+      opts.parallel = par;
+      r.parallel_seconds =
+          time_median([&] { core::melo_order_vectors(inst, opts); });
+      results.push_back(r);
+
+      core::MeloOrderingOptions lazy = opts;
+      lazy.lazy_ranking = true;
+      KernelResult rl{"melo_lazy", "n=" + std::to_string(n) + " d=10"};
+      lazy.parallel = serial;
+      rl.serial_seconds =
+          time_median([&] { core::melo_order_vectors(inst, lazy); });
+      lazy.parallel = par;
+      rl.parallel_seconds =
+          time_median([&] { core::melo_order_vectors(inst, lazy); });
+      results.push_back(rl);
+    }
+
+    {
+      const std::size_t n = scaled(2000);
+      const linalg::SymCsrMatrix q = graph::build_laplacian(model::clique_expand(
+          make_netlist(n), model::NetModel::kPartitioningSpecific));
+      linalg::LanczosOptions opts;
+      opts.num_eigenpairs = 10;
+      KernelResult r{"lanczos", "n=" + std::to_string(n) + " d=10"};
+      opts.parallel = serial;
+      r.serial_seconds = time_median([&] { linalg::lanczos_smallest(q, opts); });
+      opts.parallel = par;
+      r.parallel_seconds =
+          time_median([&] { linalg::lanczos_smallest(q, opts); });
+      results.push_back(r);
+    }
+
+    {
+      const std::size_t n = scaled(20000);
+      const linalg::SymCsrMatrix q = graph::build_laplacian(model::clique_expand(
+          make_netlist(n), model::NetModel::kPartitioningSpecific));
+      linalg::Vec x(q.size(), 1.0), y;
+      const int reps = 50;
+      KernelResult r{"spmv_x" + std::to_string(reps),
+                     "n=" + std::to_string(n)};
+      r.serial_seconds = time_median([&] {
+        for (int i = 0; i < reps; ++i) q.matvec(x, y);
+      });
+      r.parallel_seconds = time_median([&] {
+        for (int i = 0; i < reps; ++i) q.matvec(x, y, par);
+      });
+      results.push_back(r);
+    }
+
+    {
+      const std::size_t n = scaled(1500);
+      const graph::Hypergraph h = make_netlist(n);
+      const auto runs = core::melo_orderings(h, core::MeloOptions{});
+      spectral::DprpOptions opts;
+      opts.k = 10;
+      KernelResult r{"dprp", "n=" + std::to_string(n) + " k=10"};
+      opts.parallel = serial;
+      r.serial_seconds =
+          time_median([&] { spectral::dprp_split(h, runs[0].ordering, opts); });
+      opts.parallel = par;
+      r.parallel_seconds =
+          time_median([&] { spectral::dprp_split(h, runs[0].ordering, opts); });
+      results.push_back(r);
+    }
+
+    const std::string out = cli.get("out");
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    SP_CHECK_INPUT(f != nullptr, "cannot open --out file " + out);
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"specpart-bench-kernels-v1\",\n");
+    std::fprintf(f, "  \"host\": {\"cores\": %zu, \"parallel_threads\": %zu},\n",
+                 cores, threads);
+    std::fprintf(f, "  \"scale\": %g,\n", scale);
+    std::fprintf(f, "  \"kernels\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const KernelResult& r = results[i];
+      const double speedup = r.parallel_seconds > 0.0
+                                 ? r.serial_seconds / r.parallel_seconds
+                                 : 0.0;
+      std::fprintf(f,
+                   "    {\"kernel\": \"%s\", \"instance\": \"%s\", "
+                   "\"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, "
+                   "\"speedup\": %.3f}%s\n",
+                   r.name.c_str(), r.instance.c_str(), r.serial_seconds,
+                   r.parallel_seconds, speedup,
+                   i + 1 < results.size() ? "," : "");
+      std::printf("%-12s %-16s serial %8.1f ms   %zu threads %8.1f ms   "
+                  "speedup %.2fx\n",
+                  r.name.c_str(), r.instance.c_str(), r.serial_seconds * 1e3,
+                  threads, r.parallel_seconds * 1e3, speedup);
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (host: %zu core(s))\n", out.c_str(), cores);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bench_report_tool: %s\n", e.what());
+    return 1;
+  }
+}

@@ -19,6 +19,7 @@
 #include "util/budget.h"
 #include "util/cli.h"
 #include "util/error.h"
+#include "util/parallel.h"
 #include "util/status.h"
 #include "util/stringutil.h"
 
@@ -37,6 +38,9 @@ int main(int argc, char** argv) {
   cli.add_flag("deadline", "0",
                "compute budget in seconds (0 = unlimited); on exhaustion the "
                "best partition found so far is returned");
+  cli.add_flag("threads", "1",
+               "compute-kernel threads (1 = serial reference, 0 = auto: "
+               "$SPECPART_THREADS or hardware concurrency)");
   try {
     if (!cli.parse(argc, argv)) return 0;
     SP_CHECK_INPUT(cli.positionals().size() == 1,
@@ -55,7 +59,10 @@ int main(int argc, char** argv) {
 
     ComputeBudget budget;
     const double deadline = cli.get_double("deadline");
+    ParallelConfig parallel;
+    parallel.num_threads = static_cast<std::size_t>(cli.get_int("threads"));
     part::SolverInfo solver;
+    solver.threads = parallel.threads();
 
     part::Partition p;
     if (algo == "melo") {
@@ -63,6 +70,7 @@ int main(int argc, char** argv) {
       m.num_eigenvectors = static_cast<std::size_t>(cli.get_int("d"));
       m.num_starts = 3;
       m.diagnostics = &diag;
+      m.parallel = parallel;
       if (deadline > 0.0) {
         budget = ComputeBudget::with_deadline(deadline);
         m.budget = &budget;

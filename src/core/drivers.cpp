@@ -47,6 +47,7 @@ std::vector<MeloOrderingRun> melo_orderings(const graph::Hypergraph& h,
   eopts.dense_threshold = opts.dense_threshold;
   eopts.dense_fallback_limit = opts.dense_fallback_limit;
   eopts.seed = opts.seed;
+  eopts.parallel = opts.parallel;
   const spectral::EigenBasis basis =
       spectral::compute_eigenbasis(g, eopts, diag, budget);
   const double eigen_seconds = eigen_timer.seconds();
@@ -96,6 +97,7 @@ std::vector<MeloOrderingRun> melo_orderings(const graph::Hypergraph& h,
     oopts.lazy_rerank_interval = opts.lazy_rerank_interval;
     oopts.start_rank = start;
     oopts.budget = budget;
+    oopts.parallel = opts.parallel;
 
     MeloReadjust readjust;
     const bool do_readjust = opts.readjust_h && opts.h_override <= 0.0 &&
@@ -170,6 +172,7 @@ MeloMultiwayResult melo_multiway(const graph::Hypergraph& h, std::uint32_t k,
   dopts.k = k;
   dopts.min_cluster_size = min_cluster_size;
   dopts.max_cluster_size = max_cluster_size;
+  dopts.parallel = opts.parallel;
 
   MeloMultiwayResult best;
   bool have = false;

@@ -59,6 +59,10 @@ struct MeloOptions {
   /// the pipeline returns the best valid partition found so far with
   /// `budget_exhausted` set instead of running unboundedly.
   ComputeBudget* budget = nullptr;
+  /// Compute-kernel threading (see util/parallel.h), forwarded to the
+  /// eigensolver, the MELO greedy scan and the DP-RP split. The serial
+  /// default is byte-identical to the pre-parallel implementation.
+  ParallelConfig parallel;
 };
 
 /// One constructed ordering with its H bookkeeping and timings.

@@ -23,8 +23,17 @@ const char* selection_rule_name(SelectionRule s) {
 
 namespace {
 
+/// Block size for the parallel key scans. Fixed per call site (part of the
+/// determinism contract): small enough that mid-size instances still fan
+/// out across threads, large enough to amortize dispatch.
+constexpr std::size_t kScanGrain = 256;
+
 /// Greedy state: rows of the instance, running subset sum, and the scheme
 /// evaluation. Kept separate from the selection policy (exact vs lazy).
+///
+/// Rows live in one contiguous row-major buffer (n x d doubles) instead of
+/// n separate heap vectors: the per-step scan walks it linearly, which is
+/// what lets the blocked parallel argmax run at memory bandwidth.
 class MeloState {
  public:
   MeloState(const VectorInstance& inst, SelectionRule scheme)
@@ -33,24 +42,27 @@ class MeloState {
     sum_.assign(d_, 0.0);
   }
 
-  std::size_t size() const { return rows_.size(); }
+  std::size_t size() const { return norms_sq_.size(); }
 
   /// Replaces coordinates (H readjustment) and recomputes the subset sum
   /// over `chosen`.
   void reload(const VectorInstance& inst,
               const std::vector<graph::NodeId>& chosen) {
-    SP_ASSERT(inst.size() == rows_.size() && inst.dimension() == d_);
+    SP_ASSERT(inst.size() == size() && inst.dimension() == d_);
     load(inst);
     sum_.assign(d_, 0.0);
-    for (graph::NodeId v : chosen)
-      for (std::size_t j = 0; j < d_; ++j) sum_[j] += rows_[v][j];
+    for (graph::NodeId v : chosen) {
+      const double* y = row(v);
+      for (std::size_t j = 0; j < d_; ++j) sum_[j] += y[j];
+    }
     sum_norm_sq_ = linalg::norm_sq(sum_);
   }
 
   /// Selection-rule value of appending vertex v to the current subset.
   double key(graph::NodeId v) const {
-    const linalg::Vec& y = rows_[v];
-    const double s_dot_y = linalg::dot(sum_, y);
+    const double* y = row(v);
+    double s_dot_y = 0.0;
+    for (std::size_t j = 0; j < d_; ++j) s_dot_y += sum_[j] * y[j];
     const double y_sq = norms_sq_[v];
     switch (scheme_) {
       case SelectionRule::kMagnitude:
@@ -70,26 +82,32 @@ class MeloState {
   }
 
   void select(graph::NodeId v) {
-    for (std::size_t j = 0; j < d_; ++j) sum_[j] += rows_[v][j];
+    const double* y = row(v);
+    for (std::size_t j = 0; j < d_; ++j) sum_[j] += y[j];
     sum_norm_sq_ = linalg::norm_sq(sum_);
   }
 
   double row_norm_sq(graph::NodeId v) const { return norms_sq_[v]; }
 
  private:
+  const double* row(graph::NodeId v) const { return flat_.data() + v * d_; }
+
   void load(const VectorInstance& inst) {
     const std::size_t n = inst.size();
-    rows_.resize(n);
+    const double* data = inst.vectors.data();
+    flat_.assign(data, data + n * d_);
     norms_sq_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      rows_[i] = inst.vectors.row(i);
-      norms_sq_[i] = linalg::norm_sq(rows_[i]);
+      const double* y = flat_.data() + i * d_;
+      double s = 0.0;
+      for (std::size_t j = 0; j < d_; ++j) s += y[j] * y[j];
+      norms_sq_[i] = s;
     }
   }
 
   SelectionRule scheme_;
   std::size_t d_;
-  std::vector<linalg::Vec> rows_;
+  std::vector<double> flat_;  // n x d, row-major
   std::vector<double> norms_sq_;
   linalg::Vec sum_;
   double sum_norm_sq_ = 0.0;
@@ -119,12 +137,16 @@ part::Ordering melo_order_vectors(const VectorInstance& inst,
   const std::size_t n = inst.size();
   SP_CHECK_INPUT(n >= 1, "MELO: empty instance");
   MeloState state(inst, opts.selection);
+  ParallelConfig scan = opts.parallel;
+  scan.grain = kScanGrain;
 
   std::vector<char> chosen(n, 0);
   part::Ordering order;
   order.reserve(n);
 
-  auto take = [&](graph::NodeId v) {
+  // Returns true when the selection triggered an H-readjust reload (every
+  // snapshot key is stale afterwards).
+  auto take = [&](graph::NodeId v) -> bool {
     chosen[v] = 1;
     state.select(v);
     order.push_back(v);
@@ -132,7 +154,9 @@ part::Ordering melo_order_vectors(const VectorInstance& inst,
         order.size() == readjust->at && order.size() < n) {
       const VectorInstance rebuilt = readjust->rebuild(order);
       state.reload(rebuilt, order);
+      return true;
     }
+    return false;
   };
 
   // Budget exhaustion mid-construction: the ordering must still be a full
@@ -149,24 +173,23 @@ part::Ordering melo_order_vectors(const VectorInstance& inst,
   take(pick_start(state, opts.start_rank, n));
 
   if (!opts.lazy_ranking) {
-    // Exact O(d n^2): evaluate every unchosen vector each step.
+    // Exact O(d n^2 / p): every unchosen vector is evaluated each step by a
+    // blocked argmax. The (key, smallest-id) combine reproduces the serial
+    // ascending scan exactly, so the ordering does not depend on the
+    // thread count.
     while (order.size() < n) {
       if (!budget_charge(opts.budget)) {
         complete_cheaply();
         break;
       }
-      graph::NodeId best = UINT32_MAX;
-      double best_key = -std::numeric_limits<double>::infinity();
-      for (graph::NodeId v = 0; v < n; ++v) {
-        if (chosen[v]) continue;
-        const double key = state.key(v);
-        if (best == UINT32_MAX || key > best_key) {
-          best_key = key;
-          best = v;
-        }
-      }
-      SP_ASSERT(best != UINT32_MAX);
-      take(best);
+      const std::size_t best = parallel_argmax(
+          scan, n,
+          [&](std::size_t v) {
+            return state.key(static_cast<graph::NodeId>(v));
+          },
+          [&](std::size_t v) { return chosen[v] == 0; });
+      SP_ASSERT(best < n);
+      take(static_cast<graph::NodeId>(best));
     }
     return order;
   }
@@ -183,7 +206,10 @@ part::Ordering melo_order_vectors(const VectorInstance& inst,
     for (graph::NodeId v = 0; v < n; ++v)
       if (!chosen[v]) ranked.push_back(v);
     std::vector<double> snapshot(n, 0.0);
-    for (graph::NodeId v : ranked) snapshot[v] = state.key(v);
+    parallel_for(scan, 0, ranked.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t r = lo; r < hi; ++r)
+        snapshot[ranked[r]] = state.key(ranked[r]);
+    });
     std::sort(ranked.begin(), ranked.end(),
               [&](graph::NodeId a, graph::NodeId b) {
                 if (snapshot[a] != snapshot[b])
@@ -209,19 +235,24 @@ part::Ordering melo_order_vectors(const VectorInstance& inst,
       rerank();
     }
     SP_ASSERT(!window.empty());
-    // Exact evaluation inside the window only.
-    std::size_t best_slot = 0;
-    double best_key = -std::numeric_limits<double>::infinity();
-    for (std::size_t s = 0; s < window.size(); ++s) {
-      const double key = state.key(window[s]);
-      if (key > best_key) {
-        best_key = key;
-        best_slot = s;
-      }
-    }
+    // Exact evaluation inside the window only. Ties break toward the
+    // smaller window slot, which keeps the choice deterministic for any
+    // thread count.
+    const std::size_t best_slot = parallel_argmax(
+        scan, window.size(),
+        [&](std::size_t s) { return state.key(window[s]); },
+        [](std::size_t) { return true; });
     const graph::NodeId v = window[best_slot];
-    window.erase(window.begin() + static_cast<std::ptrdiff_t>(best_slot));
-    take(v);
+    // Swap-with-back removal: O(1) instead of erase()'s O(T) shift.
+    window[best_slot] = window.back();
+    window.pop_back();
+    if (take(v)) {
+      // H-readjust reload: every snapshot key (and the ranked order built
+      // from them) is stale under the new coordinates — re-rank instead of
+      // continuing to feed the window from the outdated list.
+      rerank();
+      continue;
+    }
     ++since_rerank;
     // Grow T with the next snapshot-ranked unchosen vector.
     while (ranked_next < ranked.size()) {

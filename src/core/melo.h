@@ -31,6 +31,7 @@
 #include "core/vecpart.h"
 #include "part/ordering.h"
 #include "util/budget.h"
+#include "util/parallel.h"
 
 namespace specpart::core {
 
@@ -58,6 +59,11 @@ struct MeloOrderingOptions {
   /// deterministic order so the result is still a full permutation — a
   /// valid, best-effort ordering rather than an aborted one.
   ComputeBudget* budget = nullptr;
+  /// Compute-kernel threading (see util/parallel.h). The per-step argmax
+  /// over unchosen vertices is evaluated in fixed blocks with a
+  /// (key, smallest-id) combine, so the ordering is bit-identical for
+  /// every thread count — including the serial default.
+  ParallelConfig parallel;
 };
 
 /// Optional mid-construction coordinate readjustment (the paper's

@@ -12,14 +12,84 @@ namespace specpart::linalg {
 
 namespace {
 
+/// dot(a, b) with the configured threading. Serial keeps the plain
+/// left-to-right sum (byte-identical to the original implementation);
+/// parallel uses the fixed-block deterministic reduction, so every thread
+/// count >= 2 produces the same bits.
+double pdot(const Vec& a, const Vec& b, const ParallelConfig& par) {
+  if (par.serial()) return dot(a, b);
+  return parallel_reduce<double>(
+      par, 0, a.size(), 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double s = 0.0;
+        for (std::size_t r = lo; r < hi; ++r) s += a[r] * b[r];
+        return s;
+      },
+      [](double acc, double s) { return acc + s; });
+}
+
+/// y += alpha * x by disjoint row blocks (exact for any blocking).
+void paxpy(double alpha, const Vec& x, Vec& y, const ParallelConfig& par) {
+  if (par.serial()) {
+    axpy(alpha, x, y);
+    return;
+  }
+  parallel_for(par, 0, x.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) y[r] += alpha * x[r];
+  });
+}
+
 /// Makes `w` orthogonal to every vector in `basis` (two Gram-Schmidt
 /// sweeps: one is not enough once the basis grows).
-void reorthogonalize(const std::vector<Vec>& basis, Vec& w) {
-  for (int sweep = 0; sweep < 2; ++sweep) {
-    for (const Vec& v : basis) {
-      const double c = dot(w, v);
-      if (c != 0.0) axpy(-c, v, w);
+///
+/// Serial: modified Gram-Schmidt, one dot+axpy per basis vector — the
+/// original (reference) implementation. Parallel: classical Gram-Schmidt
+/// with two sweeps (CGS2), each sweep a blocked multi-vector panel — one
+/// pass computing every coefficient c_i = w . v_i per row block, one pass
+/// applying w -= sum_i c_i v_i. The panels stream the whole basis through
+/// each row block, which is memory-bandwidth-bound instead of
+/// latency-bound, and the fixed-block reduction keeps the coefficients
+/// bit-identical for any thread count >= 2.
+void reorthogonalize(const std::vector<Vec>& basis, Vec& w,
+                     const ParallelConfig& par) {
+  if (par.serial() || basis.empty()) {
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      for (const Vec& v : basis) {
+        const double c = dot(w, v);
+        if (c != 0.0) axpy(-c, v, w);
+      }
     }
+    return;
+  }
+  const std::size_t m = basis.size();
+  const std::size_t n = w.size();
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    // Panel dot: c = V^T w, partials per row block combined in block order.
+    const Vec c = parallel_reduce<Vec>(
+        par, 0, n, Vec(m, 0.0),
+        [&](std::size_t lo, std::size_t hi) {
+          Vec partial(m, 0.0);
+          for (std::size_t i = 0; i < m; ++i) {
+            const double* v = basis[i].data();
+            double s = 0.0;
+            for (std::size_t r = lo; r < hi; ++r) s += w[r] * v[r];
+            partial[i] = s;
+          }
+          return partial;
+        },
+        [m](Vec acc, Vec partial) {
+          for (std::size_t i = 0; i < m; ++i) acc[i] += partial[i];
+          return acc;
+        });
+    // Panel axpy: w -= V c over disjoint row blocks (exact per element).
+    parallel_for(par, 0, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = 0; i < m; ++i) {
+        const double ci = c[i];
+        if (ci == 0.0) continue;
+        const double* v = basis[i].data();
+        for (std::size_t r = lo; r < hi; ++r) w[r] -= ci * v[r];
+      }
+    });
   }
 }
 
@@ -48,6 +118,7 @@ LanczosResult lanczos_largest_op(
 
   const double op_scale = std::max(op_norm_estimate, 1e-30);
   const double breakdown_tol = 1e-13 * op_scale;
+  const ParallelConfig& par = opts.parallel;
 
   Rng rng(opts.seed);
   std::vector<Vec> basis;  // Lanczos vectors v_0 .. v_{m-1}
@@ -101,13 +172,14 @@ LanczosResult lanczos_largest_op(
   for (std::size_t j = 0; j < max_iter; ++j) {
     basis.push_back(v);
     apply(basis.back(), w);
-    if (j > 0 && betas[j - 1] != 0.0) axpy(-betas[j - 1], basis[j - 1], w);
-    const double alpha = dot(w, basis[j]);
-    axpy(-alpha, basis[j], w);
-    if (!selective) reorthogonalize(basis, w);
+    if (j > 0 && betas[j - 1] != 0.0)
+      paxpy(-betas[j - 1], basis[j - 1], w, par);
+    const double alpha = pdot(w, basis[j], par);
+    paxpy(-alpha, basis[j], w, par);
+    if (!selective) reorthogonalize(basis, w, par);
     alphas.push_back(alpha);
 
-    double beta = norm(w);
+    double beta = std::sqrt(pdot(w, w, par));
     if (selective && beta > breakdown_tol) {
       if (j == 0) omega_cur.assign(1, 1.0);
       // Advance the omega recurrence: omega_next[i] ~ |v_{j+1} . v_i|.
@@ -131,8 +203,8 @@ LanczosResult lanczos_largest_op(
         worst = std::max(worst, std::fabs(omega_next[i]));
       const bool trigger = worst > omega_threshold;
       if (trigger || force_reorth) {
-        reorthogonalize(basis, w);
-        beta = norm(w);
+        reorthogonalize(basis, w, par);
+        beta = std::sqrt(pdot(w, w, par));
         for (std::size_t i = 0; i <= j; ++i) omega_next[i] = eps_unit;
         force_reorth = trigger;  // sweep once more after a fresh trigger
       }
@@ -151,7 +223,7 @@ LanczosResult lanczos_largest_op(
         break;
       }
       Vec fresh = random_unit_vector(n, rng);
-      reorthogonalize(basis, fresh);
+      reorthogonalize(basis, fresh, par);
       if (normalize(fresh) <= 1e-12) {
         converged = check_converged();
         break;
@@ -196,8 +268,15 @@ LanczosResult lanczos_largest_op(
     const std::size_t col = m - 1 - i;  // descending eigenvalues of B
     result.values[i] = t_conv.diag[col];
     Vec x(n, 0.0);
-    for (std::size_t k = 0; k < m; ++k)
-      axpy(z_conv.at(k, col), basis[k], x);
+    // x = sum_k z(k, col) basis_k; the per-element accumulation order over
+    // k is fixed, so row-blocking is exact for any thread count.
+    parallel_for(par, 0, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t k = 0; k < m; ++k) {
+        const double z = z_conv.at(k, col);
+        const double* b = basis[k].data();
+        for (std::size_t r = lo; r < hi; ++r) x[r] += z * b[r];
+      }
+    });
     normalize(x);
     result.vectors.set_col(i, x);
   }
@@ -225,8 +304,10 @@ LanczosResult lanczos_smallest(const SymCsrMatrix& a, LanczosOptions opts) {
   // B = sigma*I - A; sigma >= lambda_max(A) keeps B positive semidefinite.
   const double sigma = a.gershgorin_upper() * (1.0 + 1e-12) + 1e-12;
   auto apply = [&](const Vec& x, Vec& y) {
-    a.matvec(x, y);
-    for (std::size_t i = 0; i < n; ++i) y[i] = sigma * x[i] - y[i];
+    a.matvec(x, y, opts.parallel);
+    parallel_for(opts.parallel, 0, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) y[i] = sigma * x[i] - y[i];
+    });
   };
   LanczosResult r = lanczos_largest_op(n, apply, sigma, opts);
   // Convert eigenvalues of B back to eigenvalues of A. B's values are

@@ -17,6 +17,7 @@
 #include "linalg/dense.h"
 #include "linalg/sparse.h"
 #include "util/budget.h"
+#include "util/parallel.h"
 
 namespace specpart::linalg {
 
@@ -48,6 +49,13 @@ struct LanczosOptions {
   /// returns the best Ritz pairs of the basis built so far (at least one
   /// iteration always runs so the result is usable).
   ComputeBudget* budget = nullptr;
+  /// Compute-kernel threading (see util/parallel.h). The serial default is
+  /// byte-identical to the original implementation. With > 1 thread the
+  /// SpMV is split by row blocks and the Gram-Schmidt sweeps become blocked
+  /// multi-vector dot/axpy panels (classical GS with two sweeps instead of
+  /// modified GS); results are then bit-identical across every thread
+  /// count >= 2, and agree with the serial path to solver tolerance.
+  ParallelConfig parallel;
 };
 
 /// Eigenpairs: values[j] ascending, column j of `vectors` the matching

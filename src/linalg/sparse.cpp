@@ -40,14 +40,21 @@ SymCsrMatrix::SymCsrMatrix(std::size_t n, const std::vector<Triplet>& triplets)
 }
 
 void SymCsrMatrix::matvec(const Vec& x, Vec& y) const {
+  matvec(x, y, ParallelConfig{});
+}
+
+void SymCsrMatrix::matvec(const Vec& x, Vec& y,
+                          const ParallelConfig& par) const {
   SP_ASSERT(x.size() == n_);
-  y.assign(n_, 0.0);
-  for (std::size_t i = 0; i < n_; ++i) {
-    double s = 0.0;
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
-      s += values_[k] * x[col_idx_[k]];
-    y[i] = s;
-  }
+  y.resize(n_);  // no zero-fill: every y[i] is overwritten below
+  parallel_for(par, 0, n_, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      double s = 0.0;
+      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+        s += values_[k] * x[col_idx_[k]];
+      y[i] = s;
+    }
+  });
 }
 
 Vec SymCsrMatrix::matvec(const Vec& x) const {
@@ -64,8 +71,16 @@ double SymCsrMatrix::at(std::size_t i, std::size_t j) const {
 }
 
 double SymCsrMatrix::trace() const {
+  // Walk each row once for its diagonal entry (columns are sorted, so the
+  // scan can stop early) instead of paying at(i, i)'s full-row rescan.
   double t = 0.0;
-  for (std::size_t i = 0; i < n_; ++i) t += at(i, i);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      if (col_idx_[k] < i) continue;
+      if (col_idx_[k] == i) t += values_[k];
+      break;
+    }
+  }
   return t;
 }
 

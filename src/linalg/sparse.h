@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "linalg/dense.h"
+#include "util/parallel.h"
 
 namespace specpart::linalg {
 
@@ -36,8 +37,11 @@ class SymCsrMatrix {
   /// Number of stored nonzeros (both triangles).
   std::size_t nnz() const { return values_.size(); }
 
-  /// y = A x.
+  /// y = A x. The ParallelConfig overload splits the rows into fixed
+  /// blocks; every y[i] is an independent per-row sum, so the result is
+  /// bit-identical for any thread count (including the serial default).
   void matvec(const Vec& x, Vec& y) const;
+  void matvec(const Vec& x, Vec& y, const ParallelConfig& par) const;
   Vec matvec(const Vec& x) const;
 
   /// Entry lookup (linear scan within the row; intended for tests).

@@ -62,6 +62,9 @@ void print_report(const QualityReport& r, std::ostream& out) {
         r.solver.eigen_converged ? "converged" : "NOT converged",
         r.solver.eigenvectors_used, r.solver.eigenvectors_requested,
         r.solver.fallbacks);
+    if (r.solver.threads > 0)
+      out << strprintf("  threads     : %zu%s\n", r.solver.threads,
+                       r.solver.threads == 1 ? " (serial reference)" : "");
     if (r.solver.budget_exhausted)
       out << "  budget      : EXHAUSTED (best-so-far result)\n";
   }

@@ -37,6 +37,9 @@ struct SolverInfo {
   bool budget_exhausted = false;
   /// Recovery actions (retries, fallbacks, truncations) taken.
   std::size_t fallbacks = 0;
+  /// Compute-kernel threads the run used (0 = unknown/not recorded;
+  /// 1 = the serial reference path).
+  std::size_t threads = 0;
 };
 
 /// Full quality report of a k-way partition of a netlist.

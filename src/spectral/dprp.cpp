@@ -20,8 +20,52 @@ struct DpTables {
   std::vector<std::vector<std::uint32_t>> parent;
 };
 
+/// Fixed number of start-position blocks per DP level on the parallel
+/// path. Independent of the thread count (determinism contract).
+constexpr std::size_t kDpBlocks = 16;
+
+/// Sweeps start positions [i_begin, i_end) of one DP level, accumulating
+/// the best candidate per end position j into cur/parent (strict
+/// improvement, so the earliest i wins ties — the serial semantics).
+void sweep_level(const graph::Hypergraph& h, const part::Ordering& o,
+                 std::size_t n, std::size_t lo, std::size_t hi,
+                 const std::vector<double>& prev, std::size_t i_begin,
+                 std::size_t i_end, std::vector<std::uint32_t>& inside,
+                 std::vector<graph::NetId>& touched, std::vector<double>& cur,
+                 std::vector<std::uint32_t>& parent) {
+  for (std::size_t i = i_begin; i < i_end; ++i) {
+    if (prev[i] == kInf) continue;
+    // Incremental sweep: grow segment [i, j) one vertex at a time.
+    touched.clear();
+    double cut = 0.0;
+    const std::size_t j_end = std::min(n, i + hi);
+    for (std::size_t j = i + 1; j <= j_end; ++j) {
+      const graph::NodeId v = o[j - 1];
+      for (graph::NetId e : h.nets_of(v)) {
+        const std::size_t size = h.net(e).size();
+        if (size < 2) continue;
+        const std::uint32_t before = inside[e]++;
+        if (before == 0) {
+          cut += h.net_weight(e);
+          touched.push_back(e);
+        }
+        if (before + 1 == size) cut -= h.net_weight(e);
+      }
+      const std::size_t len = j - i;
+      if (len < lo) continue;
+      const double candidate = prev[i] + cut / static_cast<double>(len);
+      if (candidate < cur[j]) {
+        cur[j] = candidate;
+        parent[j] = static_cast<std::uint32_t>(i);
+      }
+    }
+    for (graph::NetId e : touched) inside[e] = 0;
+  }
+}
+
 DpTables fill_tables(const graph::Hypergraph& h, const part::Ordering& o,
-                     std::uint32_t k, std::size_t lo, std::size_t hi) {
+                     std::uint32_t k, std::size_t lo, std::size_t hi,
+                     const ParallelConfig& par) {
   const std::size_t n = h.num_nodes();
   DpTables t;
   t.dp.assign(k + 1, std::vector<double>(n + 1, kInf));
@@ -33,35 +77,50 @@ DpTables fill_tables(const graph::Hypergraph& h, const part::Ordering& o,
 
   for (std::uint32_t level = 1; level <= k; ++level) {
     auto& cur = t.dp[level];
+    auto& parent = t.parent[level];
     const auto& prev = t.dp[level - 1];
-    for (std::size_t i = (level - 1) * lo; i + lo <= n; ++i) {
-      if (prev[i] == kInf) continue;
-      // Incremental sweep: grow segment [i, j) one vertex at a time.
-      touched.clear();
-      double cut = 0.0;
-      const std::size_t j_end = std::min(n, i + hi);
-      for (std::size_t j = i + 1; j <= j_end; ++j) {
-        const graph::NodeId v = o[j - 1];
-        for (graph::NetId e : h.nets_of(v)) {
-          const std::size_t size = h.net(e).size();
-          if (size < 2) continue;
-          const std::uint32_t before = inside[e]++;
-          if (before == 0) {
-            cut += h.net_weight(e);
-            touched.push_back(e);
-          }
-          if (before + 1 == size) cut -= h.net_weight(e);
-        }
-        const std::size_t len = j - i;
-        if (len < lo) continue;
-        const double candidate = prev[i] + cut / static_cast<double>(len);
-        if (candidate < cur[j]) {
-          cur[j] = candidate;
-          t.parent[level][j] = static_cast<std::uint32_t>(i);
-        }
-      }
-      for (graph::NetId e : touched) inside[e] = 0;
+    const std::size_t i_begin = (level - 1) * lo;
+    const std::size_t i_end = n >= lo ? n - lo + 1 : 0;
+    if (i_begin >= i_end) continue;
+    const std::size_t range = i_end - i_begin;
+
+    if (par.serial() || range < 2 * kDpBlocks) {
+      sweep_level(h, o, n, lo, hi, prev, i_begin, i_end, inside, touched,
+                  cur, parent);
+      continue;
     }
+
+    // Parallel path: fixed i-blocks with private cur/parent/scratch, merged
+    // by strict improvement in ascending block order. A smaller i beats an
+    // equal-cost larger i exactly as in the serial sweep, so the tables —
+    // values AND parents — are bit-identical for any thread count.
+    struct Local {
+      std::vector<double> cur;
+      std::vector<std::uint32_t> parent;
+    };
+    ParallelConfig blocks = par;
+    blocks.grain = (range + kDpBlocks - 1) / kDpBlocks;
+    parallel_reduce<Local>(
+        blocks, i_begin, i_end, Local{},
+        [&](std::size_t block_lo, std::size_t block_hi) {
+          Local local;
+          local.cur.assign(n + 1, kInf);
+          local.parent.assign(n + 1, 0);
+          std::vector<std::uint32_t> local_inside(h.num_nets(), 0);
+          std::vector<graph::NetId> local_touched;
+          sweep_level(h, o, n, lo, hi, prev, block_lo, block_hi,
+                      local_inside, local_touched, local.cur, local.parent);
+          return local;
+        },
+        [&](Local, Local block) {
+          for (std::size_t j = 0; j <= n; ++j) {
+            if (block.cur[j] < cur[j]) {
+              cur[j] = block.cur[j];
+              parent[j] = block.parent[j];
+            }
+          }
+          return Local{};
+        });
   }
   return t;
 }
@@ -105,7 +164,7 @@ DprpResult dprp_split(const graph::Hypergraph& h, const part::Ordering& o,
   const std::size_t n = h.num_nodes();
   SP_CHECK_INPUT(opts.k * lo <= n && opts.k * hi >= n,
                  "DP-RP: size bounds admit no k-way split");
-  const DpTables tables = fill_tables(h, o, opts.k, lo, hi);
+  const DpTables tables = fill_tables(h, o, opts.k, lo, hi, opts.parallel);
   DprpResult result = reconstruct(h, o, tables, opts.k);
   SP_CHECK_INPUT(result.feasible, "DP-RP: no feasible restricted partition");
   return result;
@@ -116,7 +175,7 @@ std::vector<DprpResult> dprp_all_k(const graph::Hypergraph& h,
                                    const DprpOptions& opts) {
   std::size_t lo = 0, hi = 0;
   validate(h, o, opts, &lo, &hi);
-  const DpTables tables = fill_tables(h, o, opts.k, lo, hi);
+  const DpTables tables = fill_tables(h, o, opts.k, lo, hi, opts.parallel);
   std::vector<DprpResult> results;
   results.reserve(opts.k - 1);
   for (std::uint32_t k = 2; k <= opts.k; ++k)

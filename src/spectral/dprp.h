@@ -18,6 +18,7 @@
 #include "graph/hypergraph.h"
 #include "part/ordering.h"
 #include "part/partition.h"
+#include "util/parallel.h"
 
 namespace specpart::spectral {
 
@@ -26,6 +27,11 @@ struct DprpOptions {
   /// Cluster size bounds in vertices; 0 for max means "no upper bound".
   std::size_t min_cluster_size = 1;
   std::size_t max_cluster_size = 0;
+  /// Compute-kernel threading (see util/parallel.h): within each DP level
+  /// the start positions i are swept in fixed blocks with private
+  /// scratch, and block results merge by strict improvement in ascending
+  /// block order — bit-identical to the serial sweep for any thread count.
+  ParallelConfig parallel;
 };
 
 struct DprpResult {

@@ -64,6 +64,7 @@ EigenBasis compute_eigenbasis(const graph::Graph& g,
     lopts.tolerance = opts.tolerance;
     lopts.seed = opts.seed;
     lopts.budget = budget;
+    lopts.parallel = opts.parallel;
     linalg::LanczosResult result = run_attempt(q, lopts, diag);
 
     // Hardened fallback chain for clustered / pathological spectra. Each

@@ -15,6 +15,7 @@
 #include "graph/graph.h"
 #include "linalg/dense.h"
 #include "util/budget.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace specpart::spectral {
@@ -34,6 +35,9 @@ struct EmbeddingOptions {
   /// fails and n <= dense_fallback_limit (0 disables the dense fallback,
   /// leaving truncation as the terminal recovery).
   std::size_t dense_fallback_limit = 2048;
+  /// Compute-kernel threading, forwarded to the Lanczos solver (the dense
+  /// oracle stays serial). See LanczosOptions::parallel.
+  ParallelConfig parallel;
 };
 
 /// Eigenpairs of the Laplacian plus the invariants MELO's H-selection needs.

@@ -11,92 +11,129 @@ namespace specpart::spectral {
 
 namespace {
 
-double dist_sq(const linalg::DenseMatrix& points, std::size_t row,
-               const linalg::Vec& center) {
+/// Block size for the parallel assignment scan (fixed: determinism
+/// contract — see util/parallel.h).
+constexpr std::size_t kAssignGrain = 512;
+
+/// Squared Euclidean distance between two flat d-vectors.
+double dist_sq(const double* a, const double* b, std::size_t d) {
   double s = 0.0;
-  for (std::size_t j = 0; j < center.size(); ++j) {
-    const double delta = points.at(row, j) - center[j];
+  for (std::size_t j = 0; j < d; ++j) {
+    const double delta = a[j] - b[j];
     s += delta * delta;
   }
   return s;
 }
 
-/// Farthest-point (k-means++-flavoured) seeding.
-std::vector<linalg::Vec> seed_centers(const linalg::DenseMatrix& points,
-                                      std::uint32_t k, Rng& rng) {
-  const std::size_t n = points.rows();
-  std::vector<linalg::Vec> centers;
-  centers.push_back(points.row(rng.next_below(n)));
+/// Flat view of the point set: row-major n x d with O(1) row pointers (the
+/// DenseMatrix at() accessor bounds-checks every element, which the O(nkd)
+/// assignment scan cannot afford).
+struct FlatPoints {
+  const double* data;
+  std::size_t n;
+  std::size_t d;
+
+  explicit FlatPoints(const linalg::DenseMatrix& m)
+      : data(m.data()), n(m.rows()), d(m.cols()) {}
+
+  const double* row(std::size_t i) const { return data + i * d; }
+};
+
+/// Farthest-point (k-means++-flavoured) seeding. Centers are stored as one
+/// flat k x d buffer.
+std::vector<double> seed_centers(const FlatPoints& points, std::uint32_t k,
+                                 Rng& rng) {
+  const std::size_t n = points.n;
+  const std::size_t d = points.d;
+  std::vector<double> centers;
+  centers.reserve(static_cast<std::size_t>(k) * d);
+  const double* first = points.row(rng.next_below(n));
+  centers.insert(centers.end(), first, first + d);
   std::vector<double> best_dist(n, std::numeric_limits<double>::infinity());
-  while (centers.size() < k) {
+  while (centers.size() < static_cast<std::size_t>(k) * d) {
+    const double* last = centers.data() + centers.size() - d;
     std::size_t farthest = 0;
     double farthest_dist = -1.0;
     for (std::size_t i = 0; i < n; ++i) {
-      best_dist[i] =
-          std::min(best_dist[i], dist_sq(points, i, centers.back()));
+      best_dist[i] = std::min(best_dist[i], dist_sq(points.row(i), last, d));
       if (best_dist[i] > farthest_dist) {
         farthest_dist = best_dist[i];
         farthest = i;
       }
     }
-    centers.push_back(points.row(farthest));
+    const double* far_row = points.row(farthest);
+    centers.insert(centers.end(), far_row, far_row + d);
   }
   return centers;
 }
 
 /// One Lloyd run; returns the within-cluster scatter of the result.
-double lloyd(const linalg::DenseMatrix& points, std::uint32_t k,
-             std::size_t max_iterations, Rng& rng,
+double lloyd(const FlatPoints& points, std::uint32_t k,
+             std::size_t max_iterations, Rng& rng, const ParallelConfig& par,
              std::vector<std::uint32_t>& assignment) {
-  const std::size_t n = points.rows();
-  const std::size_t d = points.cols();
-  std::vector<linalg::Vec> centers = seed_centers(points, k, rng);
+  const std::size_t n = points.n;
+  const std::size_t d = points.d;
+  std::vector<double> centers = seed_centers(points, k, rng);
   assignment.assign(n, 0);
+  ParallelConfig scan = par;
+  scan.grain = kAssignGrain;
 
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
-    bool changed = iter == 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      std::uint32_t best = 0;
-      double best_d = std::numeric_limits<double>::infinity();
-      for (std::uint32_t c = 0; c < k; ++c) {
-        const double dc = dist_sq(points, i, centers[c]);
-        if (dc < best_d) {
-          best_d = dc;
-          best = c;
-        }
-      }
-      if (assignment[i] != best) {
-        assignment[i] = best;
-        changed = true;
-      }
-    }
-    if (!changed) break;
+    // Assignment step — the O(nkd) hot path. Every point's nearest center
+    // is independent, so fixed point blocks give bit-identical assignments
+    // for any thread count; `changed` flags are OR-combined.
+    const char changed_scan = parallel_reduce<char>(
+        scan, 0, n, 0,
+        [&](std::size_t lo, std::size_t hi) {
+          char changed = 0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const double* p = points.row(i);
+            std::uint32_t best = 0;
+            double best_d = std::numeric_limits<double>::infinity();
+            for (std::uint32_t c = 0; c < k; ++c) {
+              const double dc = dist_sq(p, centers.data() + c * d, d);
+              if (dc < best_d) {
+                best_d = dc;
+                best = c;
+              }
+            }
+            if (assignment[i] != best) {
+              assignment[i] = best;
+              changed = 1;
+            }
+          }
+          return changed;
+        },
+        [](char a, char b) { return static_cast<char>(a | b); });
+    if (!(changed_scan || iter == 0)) break;
 
     // Recompute centers; re-seed empties with the globally farthest point.
     std::vector<std::size_t> count(k, 0);
-    for (auto& c : centers) c.assign(d, 0.0);
+    std::fill(centers.begin(), centers.end(), 0.0);
     for (std::size_t i = 0; i < n; ++i) {
       ++count[assignment[i]];
-      for (std::size_t j = 0; j < d; ++j)
-        centers[assignment[i]][j] += points.at(i, j);
+      const double* p = points.row(i);
+      double* c = centers.data() + assignment[i] * d;
+      for (std::size_t j = 0; j < d; ++j) c[j] += p[j];
     }
     for (std::uint32_t c = 0; c < k; ++c) {
       if (count[c] == 0) {
         std::size_t farthest = 0;
         double farthest_dist = -1.0;
         for (std::size_t i = 0; i < n; ++i) {
-          const double dc =
-              dist_sq(points, i, centers[assignment[i]]);
+          const double dc = dist_sq(points.row(i),
+                                    centers.data() + assignment[i] * d, d);
           if (dc > farthest_dist) {
             farthest_dist = dc;
             farthest = i;
           }
         }
-        centers[c] = points.row(farthest);
+        std::copy_n(points.row(farthest), d, centers.data() + c * d);
         continue;
       }
+      double* cc = centers.data() + c * d;
       for (std::size_t j = 0; j < d; ++j)
-        centers[c][j] /= static_cast<double>(count[c]);
+        cc[j] /= static_cast<double>(count[c]);
     }
   }
 
@@ -110,7 +147,8 @@ double lloyd(const linalg::DenseMatrix& points, std::uint32_t k,
     double donor_dist = -1.0;
     for (std::size_t i = 0; i < n; ++i) {
       if (count[assignment[i]] <= 1) continue;
-      const double dc = dist_sq(points, i, centers[assignment[i]]);
+      const double dc =
+          dist_sq(points.row(i), centers.data() + assignment[i] * d, d);
       if (dc > donor_dist) {
         donor_dist = dc;
         donor = i;
@@ -123,7 +161,8 @@ double lloyd(const linalg::DenseMatrix& points, std::uint32_t k,
 
   double scatter = 0.0;
   for (std::size_t i = 0; i < n; ++i)
-    scatter += dist_sq(points, i, centers[assignment[i]]);
+    scatter +=
+        dist_sq(points.row(i), centers.data() + assignment[i] * d, d);
   return scatter;
 }
 
@@ -139,7 +178,9 @@ part::Partition kmeans_partition(const graph::Hypergraph& h, std::uint32_t k,
   eopts.count = opts.dimensions == 0 ? k : opts.dimensions;
   eopts.skip_trivial = true;
   eopts.seed = opts.seed;
+  eopts.parallel = opts.parallel;
   const EigenBasis basis = compute_eigenbasis(g, eopts);
+  const FlatPoints points(basis.vectors);
 
   Rng rng(opts.seed);
   std::vector<std::uint32_t> best_assignment;
@@ -147,8 +188,8 @@ part::Partition kmeans_partition(const graph::Hypergraph& h, std::uint32_t k,
   std::vector<std::uint32_t> assignment;
   for (std::size_t start = 0;
        start < std::max<std::size_t>(1, opts.num_starts); ++start) {
-    const double scatter =
-        lloyd(basis.vectors, k, opts.max_iterations, rng, assignment);
+    const double scatter = lloyd(points, k, opts.max_iterations, rng,
+                                 opts.parallel, assignment);
     if (scatter < best_scatter) {
       best_scatter = scatter;
       best_assignment = assignment;

@@ -11,6 +11,7 @@
 #include "graph/hypergraph.h"
 #include "model/clique_models.h"
 #include "part/partition.h"
+#include "util/parallel.h"
 
 namespace specpart::spectral {
 
@@ -24,6 +25,11 @@ struct KmeansOptions {
   /// wins.
   std::size_t num_starts = 4;
   std::uint64_t seed = 0x43EA25ULL;
+  /// Compute-kernel threading (see util/parallel.h): the Lloyd assignment
+  /// step is evaluated over fixed point blocks. Each point's nearest
+  /// center is independent, so assignments are bit-identical for every
+  /// thread count. Also forwarded to the eigensolver.
+  ParallelConfig parallel;
 };
 
 /// k-way spectral k-means partitioning. Empty clusters are re-seeded with

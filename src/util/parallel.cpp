@@ -1,0 +1,161 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace specpart {
+
+namespace {
+
+// Upper bound on pool workers: oversubscription beyond this is never useful
+// and a runaway thread request should not exhaust process limits.
+constexpr std::size_t kMaxWorkers = 64;
+
+// Re-entrancy guard: a worker (or a caller already inside run_blocks) that
+// reaches run_blocks again drains the nested job inline instead of
+// deadlocking on the single-job pool.
+thread_local bool t_inside_pool = false;
+
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace
+
+std::size_t env_threads() {
+  const char* s = std::getenv("SPECPART_THREADS");
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s, &end, 10);
+  if (end == s || (end != nullptr && *end != '\0')) return 0;
+  return static_cast<std::size_t>(v);
+}
+
+std::size_t ParallelConfig::threads() const {
+  std::size_t t = num_threads;
+  if (t == 0) {
+    t = env_threads();
+    if (t == 0) t = hardware_threads();
+  }
+  return std::max<std::size_t>(1, std::min(t, kMaxWorkers));
+}
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;  // wakes workers when a job is posted
+  std::condition_variable done_cv;  // wakes the caller when a job drains
+  std::vector<std::thread> workers;
+
+  // Current job (one at a time; run_blocks holds `serial` for its
+  // duration). `epoch` tells sleeping workers a new job was posted.
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t limit = 0;
+  std::atomic<std::size_t> next{0};
+  std::size_t active = 0;  // workers currently inside the job
+  std::exception_ptr error;
+  std::uint64_t epoch = 0;
+  bool stop = false;
+
+  // Serializes whole jobs: concurrent run_blocks callers (not a supported
+  // hot-path pattern, but must not corrupt state) queue here.
+  std::mutex job_mutex;
+
+  void drain() {
+    // Claims blocks until the job is exhausted; first exception wins.
+    for (;;) {
+      const std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= limit) return;
+      try {
+        (*fn)(b);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop() {
+    t_inside_pool = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mutex);
+      work_cv.wait(lock, [&] { return stop || epoch != seen; });
+      if (stop) return;
+      seen = epoch;
+      if (fn == nullptr) continue;
+      ++active;
+      lock.unlock();
+      drain();
+      lock.lock();
+      if (--active == 0) done_cv.notify_all();
+    }
+  }
+
+  void ensure_workers(std::size_t count) {
+    // Grow lazily to the largest count ever requested (minus the caller).
+    while (workers.size() < count)
+      workers.emplace_back([this] { worker_loop(); });
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+}
+
+void ThreadPool::run_blocks(std::size_t num_blocks, std::size_t num_threads,
+                            const std::function<void(std::size_t)>& fn) {
+  if (num_blocks == 0) return;
+  if (num_threads <= 1 || num_blocks == 1 || t_inside_pool) {
+    for (std::size_t b = 0; b < num_blocks; ++b) fn(b);
+    return;
+  }
+  Impl& p = *impl_;
+  std::lock_guard<std::mutex> job_lock(p.job_mutex);
+  const std::size_t helpers =
+      std::min(num_threads, std::min(num_blocks, kMaxWorkers)) - 1;
+  {
+    std::lock_guard<std::mutex> lock(p.mutex);
+    p.ensure_workers(helpers);
+    p.fn = &fn;
+    p.limit = num_blocks;
+    p.next.store(0, std::memory_order_relaxed);
+    p.error = nullptr;
+    ++p.epoch;
+  }
+  p.work_cv.notify_all();
+
+  // The caller participates; late-waking workers find the counter exhausted
+  // and go back to sleep.
+  t_inside_pool = true;
+  p.drain();
+  t_inside_pool = false;
+
+  std::unique_lock<std::mutex> lock(p.mutex);
+  p.done_cv.wait(lock, [&] { return p.active == 0; });
+  p.fn = nullptr;
+  if (p.error) {
+    std::exception_ptr e = p.error;
+    p.error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace specpart
