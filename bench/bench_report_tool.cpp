@@ -22,6 +22,7 @@
 #include "graph/laplacian.h"
 #include "linalg/lanczos.h"
 #include "model/clique_models.h"
+#include "service/service.h"
 #include "spectral/dprp.h"
 #include "spectral/embedding.h"
 #include "util/cli.h"
@@ -167,6 +168,40 @@ int main(int argc, char** argv) {
       opts.parallel = par;
       r.parallel_seconds =
           time_median([&] { spectral::dprp_split(h, runs[0].ordering, opts); });
+      results.push_back(r);
+    }
+
+    {
+      // Service layer: a warm 24-request batch through the bounded queue,
+      // 1 worker (serial reference) vs `threads` workers. Warm so it
+      // measures the serving engine, not the one-off eigensolves.
+      const std::size_t n = scaled(600);
+      std::vector<service::PartitionRequest> batch;
+      for (std::size_t i = 0; i < 24; ++i) {
+        service::PartitionRequest req;
+        req.graph = make_netlist(n + 16 * (i % 3));
+        req.pipeline.num_eigenvectors = 10;
+        batch.push_back(std::move(req));
+      }
+      const auto run_batch = [&](service::PartitionService& svc) {
+        std::vector<std::future<service::PartitionResponse>> futs;
+        futs.reserve(batch.size());
+        for (const auto& req : batch) futs.push_back(svc.submit(req));
+        for (auto& fut : futs) fut.get();
+      };
+      service::ServiceOptions one;
+      one.num_workers = 1;
+      one.parallel = serial;
+      service::ServiceOptions many = one;
+      many.num_workers = threads;
+      service::PartitionService svc1(one);
+      service::PartitionService svcN(many);
+      run_batch(svc1);  // warm both caches
+      run_batch(svcN);
+      KernelResult r{"service_warm",
+                     "reqs=24 n=" + std::to_string(n)};
+      r.serial_seconds = time_median([&] { run_batch(svc1); });
+      r.parallel_seconds = time_median([&] { run_batch(svcN); });
       results.push_back(r);
     }
 

@@ -11,6 +11,8 @@
 #include "core/drivers.h"
 #include "graph/netlist_io.h"
 #include "part/fm.h"
+#include "service/protocol.h"
+#include "service/service.h"
 #include "part/objectives.h"
 #include "part/report.h"
 #include "spectral/dprp.h"
@@ -34,6 +36,9 @@ int main(int argc, char** argv) {
   cli.add_flag("balance", "0.45", "min cluster fraction for 2-way cuts");
   cli.add_flag("out", "", "write assignment to this file");
   cli.add_flag("report", "false", "print the full quality report");
+  cli.add_flag("json", "false",
+               "machine-readable output: print one JSON object with the same "
+               "fields as a service response (melo only)");
   cli.add_flag("diag", "false", "print per-stage diagnostics after the run");
   cli.add_flag("deadline", "0",
                "compute budget in seconds (0 = unlimited); on exhaustion the "
@@ -50,12 +55,44 @@ int main(int argc, char** argv) {
     const graph::Hypergraph h = cli.get("format") == "netd"
                                     ? graph::read_netd_file(path)
                                     : graph::read_hgr_file(path, &diag);
-    std::printf("%s: %zu modules, %zu nets, %zu pins\n", path.c_str(),
-                h.num_nodes(), h.num_nets(), h.num_pins());
+    const bool json = cli.get_bool("json");
+    if (!json)
+      std::printf("%s: %zu modules, %zu nets, %zu pins\n", path.c_str(),
+                  h.num_nodes(), h.num_nets(), h.num_pins());
 
     const std::string algo = cli.get("algo");
     const auto k = static_cast<std::uint32_t>(cli.get_int("k"));
     const double balance = cli.get_double("balance");
+
+    if (json) {
+      // Route through PartitionService::execute so this output is the same
+      // object (same fields, same values) a specpart_server would return
+      // for the equivalent request — parity by construction.
+      SP_CHECK_INPUT(algo == "melo", "--json supports --algo melo only");
+      service::ServiceOptions sopts;
+      sopts.num_workers = 0;  // execute() runs on this thread
+      sopts.cache.max_bytes = 0;
+      sopts.deadline_seconds = cli.get_double("deadline");
+      sopts.parallel = ParallelConfig::with_threads(
+          static_cast<std::size_t>(cli.get_int("threads")));
+      service::PartitionService svc(sopts);
+
+      service::PartitionRequest req;
+      req.id = path;
+      req.k = k;
+      req.balance = balance;
+      req.graph = h;
+      req.pipeline.num_eigenvectors =
+          static_cast<std::size_t>(cli.get_int("d"));
+      req.pipeline.num_starts = 3;
+
+      const service::PartitionResponse resp = svc.execute(req);
+      std::printf("%s\n", service::response_to_json(resp).c_str());
+      const std::string out = cli.get("out");
+      if (!out.empty() && resp.ok())
+        graph::write_partition_file(resp.assignment, out);
+      return resp.status == "error" ? 1 : 0;
+    }
 
     ComputeBudget budget;
     const double deadline = cli.get_double("deadline");

@@ -1,0 +1,240 @@
+// specpart_loadgen: replay a deterministic mixed partitioning workload
+// against the service layer and report throughput, latency percentiles,
+// queue depth, and cache hit rate.
+//
+//   $ ./specpart_loadgen                          # in-process service
+//   $ ./specpart_loadgen --requests 500 --workers 4
+//   $ ./specpart_loadgen --connect localhost:7077 # against specpart_server
+//
+// The workload draws from a small pool of synthetic netlists and varies
+// eigenvector count, scaling, k, and balance, so a realistic fraction of
+// requests repeats an earlier embedding (content-addressed cache hits).
+// Whenever a request's wire bytes repeat exactly, the loadgen also checks
+// the response bytes repeat exactly — the serving determinism contract.
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generator.h"
+#include "service/net.h"
+#include "service/protocol.h"
+#include "service/service.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stringutil.h"
+
+using namespace specpart;
+
+namespace {
+
+std::string request_wire(const service::PartitionRequest& req) {
+  std::ostringstream out;
+  service::write_request(req, out);
+  return out.str();
+}
+
+std::string response_wire(const service::PartitionResponse& resp) {
+  std::ostringstream out;
+  service::write_response(resp, out);
+  return out.str();
+}
+
+/// Deterministic mixed workload: `count` requests over a small pool of
+/// synthetic netlists with varied pipeline settings.
+std::vector<service::PartitionRequest> make_workload(std::size_t count,
+                                                     std::uint64_t seed) {
+  std::vector<graph::Hypergraph> pool;
+  for (std::size_t i = 0; i < 4; ++i) {
+    graph::GeneratorConfig cfg;
+    cfg.name = strprintf("load%zu", i);
+    cfg.num_modules = 120 + 40 * i;
+    cfg.num_nets = cfg.num_modules + cfg.num_modules / 4;
+    cfg.num_clusters = 4 + 2 * (i % 2);
+    cfg.seed = 77 + i;
+    pool.push_back(graph::generate_netlist(cfg));
+  }
+
+  const std::size_t dims[] = {6, 8, 10, 12};
+  const core::CoordScaling scalings[] = {core::CoordScaling::kSqrtGap,
+                                         core::CoordScaling::kGap};
+  const std::uint32_t ks[] = {2, 2, 2, 4};
+  const double balances[] = {0.45, 0.40, 0.35};
+
+  Rng rng(seed);
+  std::vector<service::PartitionRequest> reqs;
+  reqs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    service::PartitionRequest req;
+    req.id = strprintf("r%zu", i);
+    req.graph = pool[rng.next_below(pool.size())];
+    req.k = ks[rng.next_below(4)];
+    req.balance = balances[rng.next_below(3)];
+    req.pipeline.num_eigenvectors = dims[rng.next_below(4)];
+    req.pipeline.scaling = scalings[rng.next_below(2)];
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+/// Wire bytes of a request with the id field neutralized, so two requests
+/// that differ only by id count as "identical work" for the determinism
+/// check. (The response embeds the id, so compare responses the same way.)
+std::string strip_id(const std::string& wire, const std::string& id) {
+  const std::string needle = "id=" + id + " ";
+  const std::size_t pos = wire.find(needle);
+  if (pos == std::string::npos) return wire;
+  return wire.substr(0, pos) + "id=? " + wire.substr(pos + needle.size());
+}
+
+struct RunResult {
+  std::vector<service::PartitionResponse> responses;
+  double elapsed_seconds = 0.0;
+};
+
+RunResult run_inproc(const std::vector<service::PartitionRequest>& reqs,
+                     const service::ServiceOptions& opts) {
+  service::PartitionService svc(opts);
+  std::deque<std::future<service::PartitionResponse>> pending;
+  RunResult run;
+  run.responses.reserve(reqs.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (const service::PartitionRequest& req : reqs)
+    pending.push_back(svc.submit(req));
+  for (auto& fut : pending) run.responses.push_back(fut.get());
+  run.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::cout << svc.snapshot().render_text();
+  return run;
+}
+
+RunResult run_tcp(const std::vector<service::PartitionRequest>& reqs,
+                  const std::string& host, std::uint16_t port,
+                  std::size_t window) {
+  const int fd = service::tcp_connect(host, port);
+  service::FdStreamBuf in_buf(fd);
+  service::FdStreamBuf out_buf(fd);
+  std::istream in(&in_buf);
+  std::ostream out(&out_buf);
+
+  RunResult run;
+  run.responses.reserve(reqs.size());
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t sent = 0;
+  // Pipelined: keep up to `window` requests in flight; the server
+  // preserves order, so responses are read back FIFO.
+  while (run.responses.size() < reqs.size()) {
+    while (sent < reqs.size() && sent - run.responses.size() < window) {
+      service::write_request(reqs[sent], out);
+      ++sent;
+    }
+    out.flush();
+    std::optional<service::PartitionResponse> resp = service::read_response(in);
+    if (!resp)
+      throw Error("loadgen: server closed the connection mid-run");
+    run.responses.push_back(std::move(*resp));
+  }
+  run.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  out << "METRICS\n";
+  out.flush();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line) == "END") break;
+    if (!trim(line).empty()) std::cout << line << '\n';
+  }
+  out << "QUIT\n";
+  out.flush();
+  service::fd_close(fd);
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("specpart_loadgen",
+          "replay a deterministic mixed workload against the partitioning "
+          "service and report throughput / latency / cache hit rate");
+  cli.add_flag("requests", "200", "number of requests to issue");
+  cli.add_flag("seed", "1", "workload PRNG seed");
+  cli.add_flag("workers", "2", "in-process mode: service worker threads");
+  cli.add_flag("queue", "64", "in-process mode: job-queue capacity");
+  cli.add_flag("cache-mb", "256",
+               "in-process mode: embedding-cache budget in MiB (0 disables)");
+  cli.add_flag("connect", "",
+               "host:port of a running specpart_server (empty = in-process)");
+  cli.add_flag("window", "16", "TCP mode: pipelining window");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::size_t count =
+        static_cast<std::size_t>(cli.get_int("requests"));
+    const std::vector<service::PartitionRequest> reqs =
+        make_workload(count, static_cast<std::uint64_t>(cli.get_int("seed")));
+
+    RunResult run;
+    const std::string connect = cli.get("connect");
+    if (connect.empty()) {
+      service::ServiceOptions opts;
+      opts.num_workers = static_cast<std::size_t>(cli.get_int("workers"));
+      opts.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
+      opts.cache.max_bytes =
+          static_cast<std::size_t>(cli.get_int("cache-mb")) << 20;
+      run = run_inproc(reqs, opts);
+    } else {
+      const std::vector<std::string> parts = split_char(connect, ':');
+      if (parts.size() != 2)
+        throw Error("loadgen: --connect wants host:port, got '" + connect +
+                    "'");
+      run = run_tcp(reqs, parts[0],
+                    static_cast<std::uint16_t>(parse_size(parts[1], "port")),
+                    static_cast<std::size_t>(cli.get_int("window")));
+    }
+
+    // Determinism audit: identical request bytes must yield identical
+    // response bytes, whether the repeat was served cold or from cache.
+    std::map<std::string, std::string> seen;
+    std::size_t repeats = 0, mismatches = 0, errors = 0;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (run.responses[i].status == "error") ++errors;
+      const std::string key = strip_id(request_wire(reqs[i]), reqs[i].id);
+      const std::string resp =
+          strip_id(response_wire(run.responses[i]), run.responses[i].id);
+      const auto [it, inserted] = seen.emplace(key, resp);
+      if (!inserted) {
+        ++repeats;
+        if (it->second != resp) ++mismatches;
+      }
+    }
+
+    std::printf("\nloadgen: %zu requests in %.3f s (%.1f req/s)\n",
+                reqs.size(), run.elapsed_seconds,
+                static_cast<double>(reqs.size()) / run.elapsed_seconds);
+    std::printf(
+        "loadgen: %zu unique requests, %zu repeats, %zu byte-identity "
+        "mismatches, %zu errors\n",
+        seen.size(), repeats, mismatches, errors);
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "loadgen: FAIL: repeated requests produced different "
+                   "response bytes\n");
+      return 1;
+    }
+    if (errors != 0) {
+      std::fprintf(stderr, "loadgen: FAIL: %zu requests errored\n", errors);
+      return 1;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "specpart_loadgen: %s\n", e.what());
+    return 1;
+  }
+}

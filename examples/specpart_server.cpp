@@ -1,0 +1,214 @@
+// specpart_server: serve the partitioning wire protocol (service/protocol.h)
+// over stdin/stdout or a TCP port.
+//
+//   $ ./specpart_server                     # stdio: pipe frames in and out
+//   $ ./specpart_server --port 7077        # TCP on 127.0.0.1:7077
+//   $ ./specpart_server --port 0 --once    # kernel-assigned port, one client
+//
+// Requests flow through PartitionService's bounded queue and worker pool;
+// responses are written in request order (per connection), so a client can
+// pipeline requests without reordering logic. Control lines:
+//   PING     -> PONG (after all earlier responses)
+//   METRICS  -> METRICS frame (key/value lines, END-terminated)
+//   QUIT     -> drains, says BYE, closes the connection
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+#include "service/net.h"
+#include "service/protocol.h"
+#include "service/service.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/stringutil.h"
+
+using namespace specpart;
+
+namespace {
+
+void write_metrics_frame(const service::MetricsSnapshot& snap,
+                         std::ostream& out) {
+  out << "METRICS\n";
+  for (const auto& [key, value] : snap.key_values())
+    out << "METRIC " << key << strprintf(" %.17g", value) << '\n';
+  out << "END\n";
+}
+
+/// Serves one connection's byte streams until EOF or QUIT.
+///
+/// The reader (this function) parses frames and enqueues work; a dedicated
+/// writer thread emits each response as soon as its future resolves. The
+/// split matters: a pipelining client only sends more requests after it
+/// reads responses, so a server that writes only between reads deadlocks
+/// once the client's window fills. The queue preserves request order, so
+/// clients still read responses strictly FIFO.
+void serve_stream(service::PartitionService& svc, std::istream& in,
+                  std::ostream& out, bool reject_when_full) {
+  struct Item {
+    enum Kind { kResponse, kReady, kPong, kMetrics, kBye } kind;
+    std::future<service::PartitionResponse> future;  // kResponse
+    service::PartitionResponse response;             // kReady
+  };
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Item> items;
+  const auto push = [&](Item item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      items.push_back(std::move(item));
+    }
+    cv.notify_one();
+  };
+  std::thread writer([&] {
+    for (;;) {
+      Item item;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return !items.empty(); });
+        item = std::move(items.front());
+        items.pop_front();
+      }
+      switch (item.kind) {
+        case Item::kResponse:
+          service::write_response(item.future.get(), out);
+          break;
+        case Item::kReady:
+          service::write_response(item.response, out);
+          break;
+        case Item::kPong:
+          out << "PONG\n";
+          break;
+        case Item::kMetrics:
+          // Snapshot here, after all earlier responses went out, so the
+          // frame reflects at least everything the client has seen.
+          write_metrics_frame(svc.snapshot(), out);
+          break;
+        case Item::kBye:
+          out << "BYE\n";
+          out.flush();
+          return;
+      }
+      out.flush();
+    }
+  });
+
+  std::string line;
+  bool failed = false;
+  while (!failed && std::getline(in, line)) {
+    const std::string_view stripped = trim(line);
+    if (stripped.empty()) continue;
+    try {
+      if (starts_with(stripped, "REQUEST")) {
+        service::PartitionRequest req = service::parse_request(line, in);
+        Item item;
+        if (reject_when_full) {
+          if (svc.try_submit(std::move(req), item.future)) {
+            item.kind = Item::kResponse;
+          } else {
+            // Admission control: the rejection is itself an error
+            // response, so clients see *why* instead of a stall.
+            item.kind = Item::kReady;
+            item.response.id = req.id;
+            item.response.status = "error";
+            item.response.error = "rejected: queue full";
+          }
+        } else {
+          item.kind = Item::kResponse;
+          item.future = svc.submit(std::move(req));  // backpressure
+        }
+        push(std::move(item));
+      } else if (stripped == "PING") {
+        push(Item{Item::kPong, {}, {}});
+      } else if (stripped == "METRICS") {
+        push(Item{Item::kMetrics, {}, {}});
+      } else if (stripped == "QUIT") {
+        break;
+      } else {
+        throw Error("unknown frame '" + std::string(stripped) + "'");
+      }
+    } catch (const Error& e) {
+      // A malformed frame poisons the rest of the stream (framing is
+      // lost), so report and stop this connection.
+      Item item;
+      item.kind = Item::kReady;
+      item.response.id = "?";
+      item.response.status = "error";
+      item.response.error = e.what();
+      push(std::move(item));
+      failed = true;
+    }
+  }
+  push(Item{Item::kBye, {}, {}});
+  writer.join();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("specpart_server",
+          "serve partitioning requests over stdio or TCP (see "
+          "docs/SERVING.md)");
+  cli.add_flag("port", "-1",
+               "TCP port to listen on (-1 = stdio mode, 0 = kernel-assigned; "
+               "the bound port is printed to stderr)");
+  cli.add_flag("once", "false", "TCP mode: exit after the first client");
+  cli.add_flag("workers", "2", "worker threads executing requests");
+  cli.add_flag("queue", "64", "job-queue capacity (admission control)");
+  cli.add_flag("reject", "true",
+               "true: reject requests when the queue is full (error "
+               "response); false: block the reader (backpressure)");
+  cli.add_flag("cache-mb", "256",
+               "embedding-cache byte budget in MiB (0 disables caching)");
+  cli.add_flag("quantum", "8",
+               "eigensolve dimension quantum (see docs/SERVING.md)");
+  cli.add_flag("deadline", "0",
+               "per-request compute budget in seconds (0 = unlimited)");
+  cli.add_flag("threads", "0",
+               "compute-kernel threads per request (0 = auto: "
+               "$SPECPART_THREADS or hardware concurrency)");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    service::ServiceOptions opts;
+    opts.num_workers = static_cast<std::size_t>(cli.get_int("workers"));
+    opts.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
+    opts.cache.max_bytes =
+        static_cast<std::size_t>(cli.get_int("cache-mb")) << 20;
+    opts.cache.dim_quantum = static_cast<std::size_t>(cli.get_int("quantum"));
+    opts.deadline_seconds = cli.get_double("deadline");
+    opts.parallel =
+        ParallelConfig::with_threads(static_cast<std::size_t>(cli.get_int("threads")));
+    const bool reject = cli.get_bool("reject");
+    service::PartitionService svc(opts);
+
+    const std::int64_t port = cli.get_int("port");
+    if (port < 0) {
+      serve_stream(svc, std::cin, std::cout, reject);
+      return 0;
+    }
+    std::uint16_t bound = 0;
+    const int listen_fd =
+        service::tcp_listen(static_cast<std::uint16_t>(port), &bound);
+    std::fprintf(stderr, "specpart_server: listening on port %u\n",
+                 static_cast<unsigned>(bound));
+    const bool once = cli.get_bool("once");
+    for (;;) {
+      const int conn = service::tcp_accept(listen_fd);
+      service::FdStreamBuf in_buf(conn);
+      service::FdStreamBuf out_buf(conn);
+      std::istream conn_in(&in_buf);
+      std::ostream conn_out(&out_buf);
+      serve_stream(svc, conn_in, conn_out, reject);
+      service::fd_close(conn);
+      if (once) break;
+    }
+    service::fd_close(listen_fd);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "specpart_server: %s\n", e.what());
+    return 1;
+  }
+}

@@ -41,15 +41,11 @@ std::vector<MeloOrderingRun> melo_orderings(const graph::Hypergraph& h,
     StageTimerScope model_timer(diag, "model");
     g = model::clique_expand(h, opts.net_model);
   }
-  spectral::EmbeddingOptions eopts;
-  eopts.count = opts.num_eigenvectors;
-  eopts.skip_trivial = !opts.include_trivial;
-  eopts.dense_threshold = opts.dense_threshold;
-  eopts.dense_fallback_limit = opts.dense_fallback_limit;
-  eopts.seed = opts.seed;
-  eopts.parallel = opts.parallel;
+  const spectral::EmbeddingOptions eopts = opts.embedding_options();
   const spectral::EigenBasis basis =
-      spectral::compute_eigenbasis(g, eopts, diag, budget);
+      opts.embedding_provider
+          ? opts.embedding_provider(g, eopts, diag, budget)
+          : spectral::compute_eigenbasis(g, eopts, diag, budget);
   const double eigen_seconds = eigen_timer.seconds();
 
   // Consume the solver outcome instead of ignoring it: a degraded basis
@@ -90,14 +86,8 @@ std::vector<MeloOrderingRun> melo_orderings(const graph::Hypergraph& h,
     run.eigen_converged = basis.converged;
     run.eigenvectors_used = d_effective;
 
-    MeloOrderingOptions oopts;
-    oopts.selection = opts.selection;
-    oopts.lazy_ranking = opts.lazy_ranking;
-    oopts.lazy_window = opts.lazy_window;
-    oopts.lazy_rerank_interval = opts.lazy_rerank_interval;
-    oopts.start_rank = start;
+    MeloOrderingOptions oopts = opts.ordering_options(start);
     oopts.budget = budget;
-    oopts.parallel = opts.parallel;
 
     MeloReadjust readjust;
     const bool do_readjust = opts.readjust_h && opts.h_override <= 0.0 &&

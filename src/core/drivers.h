@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/melo.h"
+#include "core/pipeline_config.h"
 #include "core/reduction.h"
 #include "graph/hypergraph.h"
 #include "model/clique_models.h"
@@ -22,35 +24,21 @@
 
 namespace specpart::core {
 
-struct MeloOptions {
-  /// Number of eigenvectors d used to build the vertex vectors. When
-  /// include_trivial is true this count includes the trivial
-  /// (lambda = 0, constant) eigenvector, as in the reduction theory; the
-  /// paper's "MELO with two eigenvectors" = trivial + Fiedler.
-  std::size_t num_eigenvectors = 10;
-  bool include_trivial = true;
-  /// Weighting scheme #1-#4: how eigenvector coordinates are scaled.
-  CoordScaling scaling = CoordScaling::kSqrtGap;
-  /// Greedy selection rule (kept at magnitude for the paper's pipeline).
-  SelectionRule selection = SelectionRule::kMagnitude;
-  /// Recompute H from the first half-ordering and rescale coordinates
-  /// (the paper's readjustment step; only affects H-based scalings).
-  bool readjust_h = true;
-  /// Override H (> 0); 0 = automatic (default_h / readjusted_h).
-  double h_override = 0.0;
-  bool lazy_ranking = false;
-  std::size_t lazy_window = 32;
-  std::size_t lazy_rerank_interval = 64;
-  model::NetModel net_model = model::NetModel::kPartitioningSpecific;
-  /// Diversified orderings: run r uses the (r+1)-th longest vector as the
-  /// seed vertex; the best split across runs wins.
-  std::size_t num_starts = 1;
-  /// Dense eigensolver threshold (passed to the embedding driver).
-  std::size_t dense_threshold = 320;
-  /// Last-resort dense solve cap for the eigensolver fallback chain
-  /// (see EmbeddingOptions::dense_fallback_limit; 0 disables).
-  std::size_t dense_fallback_limit = 2048;
-  std::uint64_t seed = 0x3E10ULL;
+/// Pluggable eigensolve: given the clique-model graph and the embedding
+/// options implied by the pipeline config, produce the eigenbasis. The
+/// default (an unset provider) calls spectral::compute_eigenbasis directly;
+/// the serving layer installs a content-addressed cache here so repeated
+/// requests skip Lanczos entirely. A provider MUST return the same basis
+/// the direct call would (or a deterministic function of the request), or
+/// the serving determinism contract breaks.
+using EmbeddingProvider = std::function<spectral::EigenBasis(
+    const graph::Graph&, const spectral::EmbeddingOptions&, Diagnostics*,
+    ComputeBudget*)>;
+
+/// PipelineConfig (the value-semantic knobs, shared with the service's
+/// PartitionRequest) plus the per-run attachments that only make sense for
+/// one concrete invocation.
+struct MeloOptions : PipelineConfig {
   /// Optional diagnostics sink (non-owning): per-stage timings, warnings
   /// and fallback records for this run. nullptr = no recording.
   Diagnostics* diagnostics = nullptr;
@@ -59,10 +47,9 @@ struct MeloOptions {
   /// the pipeline returns the best valid partition found so far with
   /// `budget_exhausted` set instead of running unboundedly.
   ComputeBudget* budget = nullptr;
-  /// Compute-kernel threading (see util/parallel.h), forwarded to the
-  /// eigensolver, the MELO greedy scan and the DP-RP split. The serial
-  /// default is byte-identical to the pre-parallel implementation.
-  ParallelConfig parallel;
+  /// Optional eigensolve interceptor (see EmbeddingProvider). Unset =
+  /// direct spectral::compute_eigenbasis call.
+  EmbeddingProvider embedding_provider;
 };
 
 /// One constructed ordering with its H bookkeeping and timings.

@@ -1,0 +1,94 @@
+#include "core/pipeline_config.h"
+
+#include "util/error.h"
+
+namespace specpart::core {
+
+spectral::EmbeddingOptions PipelineConfig::embedding_options() const {
+  spectral::EmbeddingOptions eopts;
+  eopts.count = num_eigenvectors;
+  eopts.skip_trivial = !include_trivial;
+  eopts.dense_threshold = dense_threshold;
+  eopts.dense_fallback_limit = dense_fallback_limit;
+  eopts.seed = seed;
+  eopts.parallel = parallel;
+  return eopts;
+}
+
+MeloOrderingOptions PipelineConfig::ordering_options(
+    std::size_t start_rank) const {
+  MeloOrderingOptions oopts;
+  oopts.selection = selection;
+  oopts.lazy_ranking = lazy_ranking;
+  oopts.lazy_window = lazy_window;
+  oopts.lazy_rerank_interval = lazy_rerank_interval;
+  oopts.start_rank = start_rank;
+  oopts.parallel = parallel;
+  return oopts;
+}
+
+std::string_view coord_scaling_token(CoordScaling s) {
+  switch (s) {
+    case CoordScaling::kSqrtGap:
+      return "sqrt_gap";
+    case CoordScaling::kGap:
+      return "gap";
+    case CoordScaling::kInvSqrtLambda:
+      return "inv_sqrt_lambda";
+    case CoordScaling::kUnit:
+      return "unit";
+  }
+  return "?";
+}
+
+std::string_view net_model_token(model::NetModel m) {
+  switch (m) {
+    case model::NetModel::kStandard:
+      return "standard";
+    case model::NetModel::kPartitioningSpecific:
+      return "partitioning_specific";
+    case model::NetModel::kFrankle:
+      return "frankle";
+  }
+  return "?";
+}
+
+std::string_view selection_rule_token(SelectionRule s) {
+  switch (s) {
+    case SelectionRule::kMagnitude:
+      return "magnitude";
+    case SelectionRule::kProjection:
+      return "projection";
+    case SelectionRule::kCosine:
+      return "cosine";
+  }
+  return "?";
+}
+
+CoordScaling parse_coord_scaling(std::string_view token) {
+  if (token == "sqrt_gap") return CoordScaling::kSqrtGap;
+  if (token == "gap") return CoordScaling::kGap;
+  if (token == "inv_sqrt_lambda") return CoordScaling::kInvSqrtLambda;
+  if (token == "unit") return CoordScaling::kUnit;
+  throw Error("unknown scaling '" + std::string(token) +
+              "' (expected sqrt_gap | gap | inv_sqrt_lambda | unit)");
+}
+
+model::NetModel parse_net_model(std::string_view token) {
+  if (token == "standard") return model::NetModel::kStandard;
+  if (token == "partitioning_specific")
+    return model::NetModel::kPartitioningSpecific;
+  if (token == "frankle") return model::NetModel::kFrankle;
+  throw Error("unknown net model '" + std::string(token) +
+              "' (expected standard | partitioning_specific | frankle)");
+}
+
+SelectionRule parse_selection_rule(std::string_view token) {
+  if (token == "magnitude") return SelectionRule::kMagnitude;
+  if (token == "projection") return SelectionRule::kProjection;
+  if (token == "cosine") return SelectionRule::kCosine;
+  throw Error("unknown selection rule '" + std::string(token) +
+              "' (expected magnitude | projection | cosine)");
+}
+
+}  // namespace specpart::core

@@ -1,0 +1,90 @@
+// Shared pipeline configuration: the knobs of the netlist -> clique model
+// -> eigensolve -> MELO -> split pipeline, in one value-semantic struct.
+//
+// Before this header existed the same knobs were duplicated across
+// MeloOptions, MeloOrderingOptions and every driver call site; the serving
+// layer (src/service) would have added a fourth copy. Instead, everything
+// that *configures* a pipeline run lives here — MeloOptions is now
+// PipelineConfig plus the per-run attachments (diagnostics sink, compute
+// budget, embedding provider), and the service's PartitionRequest carries a
+// PipelineConfig verbatim, so the CLI and the service cannot drift apart.
+//
+// The enum token helpers give every enum knob a stable machine-readable
+// spelling (lower_snake tokens) used by the wire protocol, the --json CLI
+// output and the loadgen; they are parsed case-sensitively and round-trip
+// exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/melo.h"
+#include "core/reduction.h"
+#include "model/clique_models.h"
+#include "spectral/embedding.h"
+#include "util/parallel.h"
+
+namespace specpart::core {
+
+/// Value-semantic pipeline knobs shared by the CLI drivers, the experiment
+/// runners and the partitioning service. See MeloOptions (core/drivers.h)
+/// for the per-run attachments layered on top.
+struct PipelineConfig {
+  /// Number of eigenvectors d used to build the vertex vectors. When
+  /// include_trivial is true this count includes the trivial
+  /// (lambda = 0, constant) eigenvector, as in the reduction theory; the
+  /// paper's "MELO with two eigenvectors" = trivial + Fiedler.
+  std::size_t num_eigenvectors = 10;
+  bool include_trivial = true;
+  /// Weighting scheme #1-#4: how eigenvector coordinates are scaled.
+  CoordScaling scaling = CoordScaling::kSqrtGap;
+  /// Greedy selection rule (kept at magnitude for the paper's pipeline).
+  SelectionRule selection = SelectionRule::kMagnitude;
+  /// Recompute H from the first half-ordering and rescale coordinates
+  /// (the paper's readjustment step; only affects H-based scalings).
+  bool readjust_h = true;
+  /// Override H (> 0); 0 = automatic (default_h / readjusted_h).
+  double h_override = 0.0;
+  bool lazy_ranking = false;
+  std::size_t lazy_window = 32;
+  std::size_t lazy_rerank_interval = 64;
+  model::NetModel net_model = model::NetModel::kPartitioningSpecific;
+  /// Diversified orderings: run r uses the (r+1)-th longest vector as the
+  /// seed vertex; the best split across runs wins.
+  std::size_t num_starts = 1;
+  /// Dense eigensolver threshold (passed to the embedding driver).
+  std::size_t dense_threshold = 320;
+  /// Last-resort dense solve cap for the eigensolver fallback chain
+  /// (see EmbeddingOptions::dense_fallback_limit; 0 disables).
+  std::size_t dense_fallback_limit = 2048;
+  std::uint64_t seed = 0x3E10ULL;
+  /// Compute-kernel threading (see util/parallel.h), forwarded to the
+  /// eigensolver, the MELO greedy scan and the DP-RP split. The serial
+  /// default is byte-identical to the pre-parallel implementation.
+  ParallelConfig parallel;
+
+  /// Eigensolve options implied by this config (count, trivial-pair
+  /// accounting, thresholds, seed, threading).
+  spectral::EmbeddingOptions embedding_options() const;
+
+  /// Greedy-ordering options implied by this config for multi-start run
+  /// `start_rank` (budget attachment is the caller's job).
+  MeloOrderingOptions ordering_options(std::size_t start_rank = 0) const;
+};
+
+/// Stable machine-readable token for each enum knob ("sqrt_gap",
+/// "partitioning_specific", "magnitude", ...). Distinct from the pretty
+/// display names (coord_scaling_name etc.), which keep their table-header
+/// spellings.
+std::string_view coord_scaling_token(CoordScaling s);
+std::string_view net_model_token(model::NetModel m);
+std::string_view selection_rule_token(SelectionRule s);
+
+/// Parse a token back. Throws specpart::Error on an unknown token, naming
+/// the accepted spellings.
+CoordScaling parse_coord_scaling(std::string_view token);
+model::NetModel parse_net_model(std::string_view token);
+SelectionRule parse_selection_rule(std::string_view token);
+
+}  // namespace specpart::core

@@ -1,0 +1,173 @@
+#include "service/cache.h"
+
+#include <mutex>
+#include <utility>
+
+#include "util/stringutil.h"
+#include "util/timer.h"
+
+namespace specpart::service {
+
+namespace {
+
+/// Leading `count` pairs of a basis, presented as if the caller had asked
+/// for exactly `count`. When the basis holds fewer pairs (small graph or a
+/// degraded solve) the whole basis is returned with the shortfall flagged,
+/// mirroring compute_eigenbasis's own truncation accounting.
+spectral::EigenBasis slice_basis(const spectral::EigenBasis& full,
+                                 std::size_t count) {
+  spectral::EigenBasis out;
+  out.n = full.n;
+  out.laplacian_trace = full.laplacian_trace;
+  out.requested = count;
+  out.budget_exhausted = full.budget_exhausted;
+  const std::size_t d = std::min(count, full.dimension());
+  out.values.assign(full.values.begin(),
+                    full.values.begin() + static_cast<std::ptrdiff_t>(d));
+  out.vectors = linalg::DenseMatrix(full.n, d);
+  for (std::size_t j = 0; j < d; ++j)
+    for (std::size_t i = 0; i < full.n; ++i)
+      out.vectors.at(i, j) = full.vectors.at(i, j);
+  out.converged_pairs = std::min(full.converged_pairs, d);
+  out.converged = out.converged_pairs == d && d > 0;
+  out.truncated = d < count && (full.truncated || d < full.dimension());
+  return out;
+}
+
+}  // namespace
+
+EmbeddingCache::EmbeddingCache(EmbeddingCacheOptions opts) : opts_(opts) {}
+
+std::size_t EmbeddingCache::quantized_count(std::size_t count) const {
+  const std::size_t q = std::max<std::size_t>(1, opts_.dim_quantum);
+  return ((count + q - 1) / q) * q;
+}
+
+std::size_t EmbeddingCache::basis_bytes(const spectral::EigenBasis& basis) {
+  constexpr std::size_t kEntryOverhead = 256;  // map node, LRU node, struct
+  return kEntryOverhead + sizeof(double) * basis.values.size() +
+         sizeof(double) * basis.vectors.rows() * basis.vectors.cols();
+}
+
+Fingerprint EmbeddingCache::eigen_key(const graph::Graph& g,
+                                      const spectral::EmbeddingOptions& opts,
+                                      std::size_t solve_count) {
+  Hasher h;
+  h.mix_string("specpart.eigenbasis.v1");
+  // Graph content: the CSR arrays fully determine the Laplacian. The
+  // canonical unique edge list (u < v, ascending) plus the vertex count is
+  // that content without the redundant adjacency mirror.
+  h.mix_size(g.num_nodes());
+  h.mix_size(g.num_edges());
+  for (const graph::Edge& e : g.edges()) {
+    h.mix_u64(static_cast<std::uint64_t>(e.u) |
+              (static_cast<std::uint64_t>(e.v) << 32));
+    h.mix_double(e.weight);
+  }
+  // Solver options: anything that can change the returned bits.
+  h.mix_bool(opts.skip_trivial);
+  h.mix_size(opts.dense_threshold);
+  h.mix_size(opts.dense_fallback_limit);
+  h.mix_double(opts.tolerance);
+  h.mix_u64(opts.seed);
+  h.mix_size(solve_count);
+  return h.digest();
+}
+
+spectral::EigenBasis EmbeddingCache::compute(
+    const graph::Graph& g, const spectral::EmbeddingOptions& opts,
+    Diagnostics* diag, ComputeBudget* budget) {
+  if (opts_.max_bytes == 0)  // caching disabled: raw pipeline behavior
+    return spectral::compute_eigenbasis(g, opts, diag, budget);
+
+  const std::size_t solve_count = quantized_count(opts.count);
+  const Fingerprint key = eigen_key(g, opts, solve_count);
+
+  {
+    Timer lookup_timer;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.lookups;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      if (opts.count < it->second.basis.dimension()) ++stats_.prefix_hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      spectral::EigenBasis sliced = slice_basis(it->second.basis, opts.count);
+      if (diag != nullptr)
+        diag->record_stage("embedding_cache_hit", lookup_timer.seconds());
+      return sliced;
+    }
+    ++stats_.misses;
+  }
+
+  // Miss: solve at the quantized dimension outside the lock (concurrent
+  // misses on the same key both solve; the solver is deterministic, so
+  // whichever insertion lands is bit-identical to the other).
+  spectral::EmbeddingOptions solve_opts = opts;
+  solve_opts.count = solve_count;
+  spectral::EigenBasis full =
+      spectral::compute_eigenbasis(g, solve_opts, diag, budget);
+
+  const bool clean =
+      full.converged && !full.truncated && !full.budget_exhausted;
+  spectral::EigenBasis sliced = slice_basis(full, opts.count);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t bytes = basis_bytes(full);
+  if (!clean || bytes > opts_.max_bytes) {
+    ++stats_.uncacheable;
+    if (diag != nullptr && clean)
+      diag->warn("embedding_cache",
+                 strprintf("basis of %zu bytes exceeds the %zu-byte cache "
+                           "budget; not cached",
+                           bytes, opts_.max_bytes));
+    return sliced;
+  }
+  if (entries_.find(key) == entries_.end()) {  // first concurrent solve wins
+    lru_.push_front(key);
+    Entry entry;
+    entry.basis = std::move(full);
+    entry.bytes = bytes;
+    entry.lru_pos = lru_.begin();
+    entries_.emplace(key, std::move(entry));
+    stats_.bytes += bytes;
+    stats_.entries = entries_.size();
+    ++stats_.insertions;
+    evict_to_budget_locked();
+  }
+  return sliced;
+}
+
+void EmbeddingCache::evict_to_budget_locked() {
+  while (stats_.bytes > opts_.max_bytes && lru_.size() > 1) {
+    const Fingerprint victim = lru_.back();
+    auto it = entries_.find(victim);
+    stats_.bytes -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = entries_.size();
+}
+
+core::EmbeddingProvider EmbeddingCache::provider() {
+  return [this](const graph::Graph& g, const spectral::EmbeddingOptions& opts,
+                Diagnostics* diag, ComputeBudget* budget) {
+    return compute(g, opts, diag, budget);
+  };
+}
+
+EmbeddingCacheStats EmbeddingCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void EmbeddingCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+}  // namespace specpart::service

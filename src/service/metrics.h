@@ -1,0 +1,123 @@
+// Serving metrics: request/error counters, queue depth, cache hit rate,
+// and latency percentiles from a fixed-bucket histogram.
+//
+// Everything here is updated from hot serving paths, so the design goals
+// are (a) wait-free recording — plain relaxed atomics, no locks — and
+// (b) snapshot-then-render: readers take a consistent-enough copy
+// (MetricsSnapshot) and all derivation (rates, percentiles) happens on the
+// copy. Latency quantiles come from a fixed log-spaced bucket histogram
+// (~19% resolution steps from 1 microsecond to ~4.6 hours), the standard
+// serving-systems trade: bounded memory, wait-free writes, quantile error
+// bounded by the bucket width.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specpart::service {
+
+/// Fixed-bucket latency histogram. Bucket i counts samples in
+/// (upper(i-1), upper(i)] with upper(i) = 1us * 2^(i/4) — four buckets per
+/// doubling, 96 buckets, so the top bucket boundary exceeds 4 hours;
+/// slower samples clamp into the last bucket.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 96;
+
+  void record(double seconds);
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t total = 0;
+    double sum_seconds = 0.0;
+
+    /// Quantile in seconds by linear interpolation inside the covering
+    /// bucket; 0 when empty. q in [0, 1].
+    double quantile(double q) const;
+    double mean() const {
+      return total == 0 ? 0.0 : sum_seconds / static_cast<double>(total);
+    }
+  };
+
+  Snapshot snapshot() const;
+
+  /// Upper bound of bucket i in seconds (exposed for tests).
+  static double bucket_upper(std::size_t i);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> total_{0};
+  /// Nanosecond sum (atomic doubles are not portable pre-C++20 everywhere;
+  /// a 64-bit nanosecond counter overflows after ~584 years of latency).
+  std::atomic<std::uint64_t> sum_nanos_{0};
+};
+
+/// One consistent view of the service counters plus everything derived
+/// from them. Produced by ServiceMetrics::snapshot() (and enriched with
+/// cache stats by PartitionService::snapshot()).
+struct MetricsSnapshot {
+  std::uint64_t requests_total = 0;
+  std::uint64_t responses_ok = 0;
+  std::uint64_t responses_degraded = 0;
+  std::uint64_t responses_error = 0;
+  std::uint64_t rejected = 0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_peak = 0;
+  std::size_t workers = 0;
+
+  // Cache section (filled by the service from EmbeddingCacheStats).
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_prefix_hits = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t cache_bytes = 0;
+  std::size_t cache_entries = 0;
+  double cache_hit_rate = 0.0;
+
+  LatencyHistogram::Snapshot latency;
+
+  /// Stable key/value flattening: the METRICS wire frame and the text
+  /// rendering both derive from this, so they cannot disagree.
+  std::vector<std::pair<std::string, double>> key_values() const;
+
+  /// Human-readable multi-line rendering (counters, cache, p50/p95/p99).
+  std::string render_text() const;
+};
+
+/// Wait-free counter hub updated by the serving paths.
+class ServiceMetrics {
+ public:
+  void on_submitted() { requests_total_.fetch_add(1, relaxed); }
+  void on_rejected() { rejected_.fetch_add(1, relaxed); }
+
+  void on_enqueued(std::size_t depth) {
+    queue_depth_.store(depth, relaxed);
+    std::size_t peak = queue_peak_.load(relaxed);
+    while (depth > peak &&
+           !queue_peak_.compare_exchange_weak(peak, depth, relaxed)) {
+    }
+  }
+  void on_dequeued(std::size_t depth) { queue_depth_.store(depth, relaxed); }
+
+  /// `status` is the wire status token of the finished response.
+  void on_completed(const std::string& status, double seconds);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  static constexpr std::memory_order relaxed = std::memory_order_relaxed;
+
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> responses_ok_{0};
+  std::atomic<std::uint64_t> responses_degraded_{0};
+  std::atomic<std::uint64_t> responses_error_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::size_t> queue_depth_{0};
+  std::atomic<std::size_t> queue_peak_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace specpart::service

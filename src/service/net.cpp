@@ -1,0 +1,139 @@
+#include "service/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+#include "util/stringutil.h"
+
+namespace specpart::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+int tcp_listen(std::uint16_t port, std::uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    fd_close(fd);
+    throw_errno(strprintf("bind to port %u", static_cast<unsigned>(port)));
+  }
+  if (::listen(fd, 16) < 0) {
+    fd_close(fd);
+    throw_errno("listen");
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) < 0) {
+      fd_close(fd);
+      throw_errno("getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+int tcp_accept(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("accept");
+  }
+}
+
+int tcp_connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved =
+      host.empty() || host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    fd_close(fd);
+    throw Error("tcp_connect: cannot parse host '" + host +
+                "' (use a dotted-quad IPv4 address or 'localhost')");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    fd_close(fd);
+    throw_errno(strprintf("connect to %s:%u", resolved.c_str(),
+                          static_cast<unsigned>(port)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void fd_close(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+FdStreamBuf::FdStreamBuf(int fd) : fd_(fd) {
+  setg(rbuf_, rbuf_, rbuf_);
+  setp(wbuf_, wbuf_ + kBufSize);
+}
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  for (;;) {
+    const ssize_t n = ::read(fd_, rbuf_, kBufSize);
+    if (n > 0) {
+      setg(rbuf_, rbuf_, rbuf_ + n);
+      return traits_type::to_int_type(*gptr());
+    }
+    if (n == 0) return traits_type::eof();
+    if (errno == EINTR) continue;
+    return traits_type::eof();
+  }
+}
+
+bool FdStreamBuf::flush_write() {
+  const char* p = pbase();
+  while (p < pptr()) {
+    const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+    if (n > 0) {
+      p += n;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  setp(wbuf_, wbuf_ + kBufSize);
+  return true;
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type c) {
+  if (!flush_write()) return traits_type::eof();
+  if (!traits_type::eq_int_type(c, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(c);
+    pbump(1);
+  }
+  return traits_type::not_eof(c);
+}
+
+int FdStreamBuf::sync() { return flush_write() ? 0 : -1; }
+
+}  // namespace specpart::service

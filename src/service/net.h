@@ -1,0 +1,51 @@
+// Minimal POSIX TCP plumbing for the service binaries: listen / accept /
+// connect helpers plus a std::streambuf over a file descriptor, so the
+// wire protocol (protocol.h) reads and writes std::iostreams no matter
+// whether the transport is a pipe, stdin/stdout, or a socket.
+//
+// Deliberately tiny: IPv4 loopback-oriented, blocking I/O, no TLS — the
+// serving layer's scope is the engine (queue, cache, metrics); fleet-grade
+// transport belongs in front of it.
+#pragma once
+
+#include <cstdint>
+#include <streambuf>
+#include <string>
+
+namespace specpart::service {
+
+/// Opens a listening IPv4 TCP socket on `port` (0 = kernel-assigned).
+/// Returns the listening fd; *bound_port receives the actual port.
+/// Throws specpart::Error on failure.
+int tcp_listen(std::uint16_t port, std::uint16_t* bound_port = nullptr);
+
+/// Blocks until a client connects; returns the connection fd.
+int tcp_accept(int listen_fd);
+
+/// Connects to host:port (host = dotted quad or "localhost").
+int tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Closes an fd (ignores errors; safe on -1).
+void fd_close(int fd);
+
+/// Buffered std::streambuf over a file descriptor, usable for both
+/// reading and writing (bidirectional socket I/O). Does not own the fd.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd);
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type c) override;
+  int sync() override;
+
+ private:
+  bool flush_write();
+
+  static constexpr std::size_t kBufSize = 1 << 16;
+  int fd_;
+  char rbuf_[kBufSize];
+  char wbuf_[kBufSize];
+};
+
+}  // namespace specpart::service

@@ -1,0 +1,294 @@
+#include "service/protocol.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "graph/netlist_io.h"
+#include "util/error.h"
+#include "util/stringutil.h"
+
+namespace specpart::service {
+
+namespace {
+
+/// key=value tokens of a header line after the leading verb. `error=`
+/// greedily consumes the rest of the line (messages contain spaces).
+std::vector<std::pair<std::string, std::string>> parse_header_fields(
+    std::string_view line, std::string_view verb) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::string_view rest = trim(line);
+  SP_CHECK_INPUT(starts_with(rest, verb),
+                 "protocol: expected " + std::string(verb) + " line, got '" +
+                     std::string(line) + "'");
+  rest.remove_prefix(verb.size());
+  while (true) {
+    rest = trim(rest);
+    if (rest.empty()) break;
+    const std::size_t eq = rest.find('=');
+    SP_CHECK_INPUT(eq != std::string_view::npos && eq > 0,
+                   "protocol: malformed field in '" + std::string(line) + "'");
+    const std::string key(rest.substr(0, eq));
+    rest.remove_prefix(eq + 1);
+    if (key == "error") {  // free-text tail
+      fields.emplace_back(key, std::string(trim(rest)));
+      break;
+    }
+    const std::size_t end = rest.find_first_of(" \t");
+    const std::string value(
+        end == std::string_view::npos ? rest : rest.substr(0, end));
+    rest.remove_prefix(
+        end == std::string_view::npos ? rest.size() : end);
+    fields.emplace_back(key, value);
+  }
+  return fields;
+}
+
+bool parse_bool_field(const std::string& value, const std::string& key) {
+  if (value == "1") return true;
+  if (value == "0") return false;
+  throw Error("protocol: field " + key + " must be 0 or 1, got '" + value +
+              "'");
+}
+
+void expect_end_line(std::istream& in, std::string_view frame) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    SP_CHECK_INPUT(trim(line) == "END",
+                   "protocol: expected END after " + std::string(frame) +
+                       ", got '" + line + "'");
+    return;
+  }
+  throw Error("protocol: stream ended before END of " + std::string(frame));
+}
+
+/// First non-blank line, or nullopt at EOF.
+std::optional<std::string> next_content_line(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!trim(line).empty()) return line;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view status_token(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kDegraded:
+      return "degraded";
+    case StatusCode::kBudgetExhausted:
+      return "budget_exhausted";
+  }
+  return "?";
+}
+
+void write_request(const PartitionRequest& req, std::ostream& out) {
+  std::ostringstream graph_text;
+  graph::write_hgr(req.graph, graph_text);
+  const std::string payload = graph_text.str();
+  std::size_t lines = 0;
+  for (const char c : payload)
+    if (c == '\n') ++lines;
+
+  const core::PipelineConfig& p = req.pipeline;
+  out << "REQUEST id=" << req.id << " k=" << req.k
+      << strprintf(" balance=%.17g", req.balance) << " d=" << p.num_eigenvectors
+      << " trivial=" << (p.include_trivial ? 1 : 0)
+      << " scaling=" << core::coord_scaling_token(p.scaling)
+      << " selection=" << core::selection_rule_token(p.selection)
+      << " readjust=" << (p.readjust_h ? 1 : 0)
+      << strprintf(" h=%.17g", p.h_override)
+      << " lazy=" << (p.lazy_ranking ? 1 : 0)
+      << " lazy_window=" << p.lazy_window
+      << " lazy_rerank=" << p.lazy_rerank_interval
+      << " net_model=" << core::net_model_token(p.net_model)
+      << " starts=" << p.num_starts << " seed=" << p.seed
+      << " graph_lines=" << lines << '\n';
+  out << payload;
+  out << "END\n";
+}
+
+PartitionRequest parse_request(const std::string& header_line,
+                               std::istream& in) {
+  PartitionRequest req;
+  core::PipelineConfig& p = req.pipeline;
+  std::size_t graph_lines = 0;
+  bool have_graph_lines = false;
+  for (const auto& [key, value] : parse_header_fields(header_line, "REQUEST")) {
+    if (key == "id") {
+      req.id = value;
+    } else if (key == "k") {
+      req.k = static_cast<std::uint32_t>(parse_size(value, "k"));
+    } else if (key == "balance") {
+      req.balance = parse_double(value, "balance");
+    } else if (key == "d") {
+      p.num_eigenvectors = parse_size(value, "d");
+    } else if (key == "trivial") {
+      p.include_trivial = parse_bool_field(value, key);
+    } else if (key == "scaling") {
+      p.scaling = core::parse_coord_scaling(value);
+    } else if (key == "selection") {
+      p.selection = core::parse_selection_rule(value);
+    } else if (key == "readjust") {
+      p.readjust_h = parse_bool_field(value, key);
+    } else if (key == "h") {
+      p.h_override = parse_double(value, "h");
+    } else if (key == "lazy") {
+      p.lazy_ranking = parse_bool_field(value, key);
+    } else if (key == "lazy_window") {
+      p.lazy_window = parse_size(value, "lazy_window");
+    } else if (key == "lazy_rerank") {
+      p.lazy_rerank_interval = parse_size(value, "lazy_rerank");
+    } else if (key == "net_model") {
+      p.net_model = core::parse_net_model(value);
+    } else if (key == "starts") {
+      p.num_starts = parse_size(value, "starts");
+    } else if (key == "seed") {
+      p.seed = static_cast<std::uint64_t>(parse_size(value, "seed"));
+    } else if (key == "graph_lines") {
+      graph_lines = parse_size(value, "graph_lines");
+      have_graph_lines = true;
+    } else {
+      throw Error("protocol: unknown REQUEST field '" + key + "'");
+    }
+  }
+  SP_CHECK_INPUT(have_graph_lines,
+                 "protocol: REQUEST is missing the graph_lines field");
+  SP_CHECK_INPUT(req.k >= 2, "protocol: k must be >= 2");
+
+  std::string payload;
+  std::string line;
+  for (std::size_t i = 0; i < graph_lines; ++i) {
+    SP_CHECK_INPUT(static_cast<bool>(std::getline(in, line)),
+                   "protocol: stream ended inside the graph payload "
+                   "(expected " +
+                       std::to_string(graph_lines) + " lines)");
+    payload += line;
+    payload += '\n';
+  }
+  std::istringstream graph_in(payload);
+  req.graph = graph::read_hgr(graph_in);
+  expect_end_line(in, "REQUEST");
+  return req;
+}
+
+std::optional<PartitionRequest> read_request(std::istream& in) {
+  const std::optional<std::string> header = next_content_line(in);
+  if (!header) return std::nullopt;
+  return parse_request(*header, in);
+}
+
+void write_response(const PartitionResponse& resp, std::ostream& out) {
+  out << "RESPONSE id=" << resp.id << " status=" << resp.status;
+  if (resp.status == "error") {
+    out << " error=" << resp.error << '\n';
+    out << "END\n";
+    return;
+  }
+  out << " k=" << resp.k << strprintf(" cut=%.17g", resp.cut)
+      << strprintf(" scaled_cost=%.17g", resp.scaled_cost)
+      << strprintf(" ratio_cut=%.17g", resp.ratio_cut)
+      << " d_used=" << resp.eigenvectors_used
+      << " converged=" << (resp.eigen_converged ? 1 : 0)
+      << " budget_exhausted=" << (resp.budget_exhausted ? 1 : 0)
+      << " n=" << resp.assignment.size() << '\n';
+  out << "ASSIGN";
+  for (const std::uint32_t c : resp.assignment) out << ' ' << c;
+  out << '\n';
+  out << "END\n";
+}
+
+PartitionResponse parse_response(const std::string& header_line,
+                                 std::istream& in) {
+  PartitionResponse resp;
+  std::size_t n = 0;
+  bool have_n = false;
+  for (const auto& [key, value] :
+       parse_header_fields(header_line, "RESPONSE")) {
+    if (key == "id") {
+      resp.id = value;
+    } else if (key == "status") {
+      resp.status = value;
+    } else if (key == "error") {
+      resp.error = value;
+    } else if (key == "k") {
+      resp.k = static_cast<std::uint32_t>(parse_size(value, "k"));
+    } else if (key == "cut") {
+      resp.cut = parse_double(value, "cut");
+    } else if (key == "scaled_cost") {
+      resp.scaled_cost = parse_double(value, "scaled_cost");
+    } else if (key == "ratio_cut") {
+      resp.ratio_cut = parse_double(value, "ratio_cut");
+    } else if (key == "d_used") {
+      resp.eigenvectors_used = parse_size(value, "d_used");
+    } else if (key == "converged") {
+      resp.eigen_converged = parse_bool_field(value, key);
+    } else if (key == "budget_exhausted") {
+      resp.budget_exhausted = parse_bool_field(value, key);
+    } else if (key == "n") {
+      n = parse_size(value, "n");
+      have_n = true;
+    } else {
+      throw Error("protocol: unknown RESPONSE field '" + key + "'");
+    }
+  }
+  if (resp.status == "error") {
+    expect_end_line(in, "RESPONSE");
+    return resp;
+  }
+  SP_CHECK_INPUT(have_n, "protocol: RESPONSE is missing the n field");
+  const std::optional<std::string> assign_line = next_content_line(in);
+  SP_CHECK_INPUT(assign_line.has_value(),
+                 "protocol: stream ended before the ASSIGN line");
+  const std::vector<std::string> tokens = split_ws(*assign_line);
+  SP_CHECK_INPUT(!tokens.empty() && tokens[0] == "ASSIGN",
+                 "protocol: expected ASSIGN line, got '" + *assign_line + "'");
+  SP_CHECK_INPUT(tokens.size() == n + 1,
+                 strprintf("protocol: ASSIGN holds %zu ids, header says n=%zu",
+                           tokens.size() - 1, n));
+  resp.assignment.reserve(n);
+  for (std::size_t i = 1; i < tokens.size(); ++i)
+    resp.assignment.push_back(
+        static_cast<std::uint32_t>(parse_size(tokens[i], "ASSIGN id")));
+  expect_end_line(in, "RESPONSE");
+  return resp;
+}
+
+std::optional<PartitionResponse> read_response(std::istream& in) {
+  const std::optional<std::string> header = next_content_line(in);
+  if (!header) return std::nullopt;
+  return parse_response(*header, in);
+}
+
+std::string response_to_json(const PartitionResponse& resp) {
+  std::ostringstream out;
+  out << "{\"id\": \"" << resp.id << "\", \"status\": \"" << resp.status
+      << "\"";
+  if (resp.status == "error") {
+    std::string escaped;
+    for (const char c : resp.error) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    out << ", \"error\": \"" << escaped << "\"}";
+    return out.str();
+  }
+  out << ", \"k\": " << resp.k << strprintf(", \"cut\": %.17g", resp.cut)
+      << strprintf(", \"scaled_cost\": %.17g", resp.scaled_cost)
+      << strprintf(", \"ratio_cut\": %.17g", resp.ratio_cut)
+      << ", \"d_used\": " << resp.eigenvectors_used
+      << ", \"converged\": " << (resp.eigen_converged ? "true" : "false")
+      << ", \"budget_exhausted\": "
+      << (resp.budget_exhausted ? "true" : "false") << ", \"n\": "
+      << resp.assignment.size() << ", \"assignment\": [";
+  for (std::size_t i = 0; i < resp.assignment.size(); ++i)
+    out << (i ? ", " : "") << resp.assignment[i];
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace specpart::service

@@ -134,6 +134,52 @@ TEST(Hgr, RoundTripWeighted) {
   EXPECT_DOUBLE_EQ(back.net_weight(1), 1.0);
 }
 
+/// parse(write(parse(text))) == parse(text) for a messy textual input:
+/// comments, blank lines, net weights, and non-canonical spacing must all
+/// wash out through one write/read cycle.
+TEST(Hgr, ParseWriteParseEqualsDirectParse) {
+  const std::string messy =
+      "% comment before the header\n"
+      "\n"
+      "  3 5 1\n"
+      "% weighted nets below\n"
+      "2   1 2\n"
+      "\n"
+      "1 2 3   4\n"
+      "3\t5 1\n"
+      "% trailing comment\n";
+  std::istringstream in1(messy);
+  const Hypergraph direct = read_hgr(in1);
+
+  std::ostringstream out;
+  write_hgr(direct, out);
+  std::istringstream in2(out.str());
+  const Hypergraph cycled = read_hgr(in2);
+
+  ASSERT_EQ(cycled.num_nodes(), direct.num_nodes());
+  ASSERT_EQ(cycled.num_nets(), direct.num_nets());
+  for (NetId e = 0; e < direct.num_nets(); ++e) {
+    EXPECT_EQ(cycled.net(e), direct.net(e));
+    EXPECT_DOUBLE_EQ(cycled.net_weight(e), direct.net_weight(e));
+  }
+  EXPECT_EQ(cycled.num_pins(), direct.num_pins());
+}
+
+/// The writer is canonical: writing, re-parsing and writing again emits
+/// byte-identical text. This is what lets the service's wire protocol
+/// embed .hgr payloads and still promise byte-stable request frames.
+TEST(Hgr, WriterIsCanonicalFixedPoint) {
+  const Hypergraph h(6, {{0, 1, 2}, {2, 3}, {3, 4, 5}, {0, 5}},
+                     {1.0, 2.5, 1.0, 0.5});
+  std::ostringstream first;
+  write_hgr(h, first);
+  std::istringstream in(first.str());
+  const Hypergraph back = read_hgr(in);
+  std::ostringstream second;
+  write_hgr(back, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
 TEST(NetD, ParsesPinList) {
   // Header: 0, #pins=6, #nets=2, #modules=4, pad offset 0.
   std::istringstream in(

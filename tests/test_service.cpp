@@ -1,0 +1,519 @@
+// Tests for the partitioning service layer: content-addressed embedding
+// cache (hits, prefix reuse, LRU eviction), job-queue admission control,
+// serving metrics, the wire protocol, and the serving determinism
+// contract (byte-identical responses cold, cached, and at any kernel
+// thread count).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "graph/generator.h"
+#include "model/clique_models.h"
+#include "service/cache.h"
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "service/service.h"
+#include "util/error.h"
+#include "util/hashing.h"
+
+namespace specpart::service {
+namespace {
+
+graph::Hypergraph small_netlist(std::uint64_t seed = 7,
+                                std::size_t modules = 90) {
+  graph::GeneratorConfig cfg;
+  cfg.num_modules = modules;
+  cfg.num_nets = modules + modules / 3;
+  cfg.num_clusters = 4;
+  cfg.seed = seed;
+  return graph::generate_netlist(cfg);
+}
+
+PartitionRequest make_request(std::uint64_t graph_seed = 7,
+                              std::size_t d = 8) {
+  PartitionRequest req;
+  req.id = "t";
+  req.graph = small_netlist(graph_seed);
+  req.pipeline.num_eigenvectors = d;
+  return req;
+}
+
+std::string wire(const PartitionResponse& resp) {
+  std::ostringstream out;
+  write_response(resp, out);
+  return out.str();
+}
+
+bool has_stage(const Diagnostics& diag, const std::string& name) {
+  for (const StageStats& s : diag.stages())
+    if (s.name == name) return true;
+  return false;
+}
+
+void expect_same_basis(const spectral::EigenBasis& a,
+                       const spectral::EigenBasis& b) {
+  ASSERT_EQ(a.dimension(), b.dimension());
+  ASSERT_EQ(a.n, b.n);
+  for (std::size_t j = 0; j < a.dimension(); ++j) {
+    EXPECT_EQ(a.values[j], b.values[j]);
+    for (std::size_t i = 0; i < a.n; ++i)
+      EXPECT_EQ(a.vectors.at(i, j), b.vectors.at(i, j));
+  }
+}
+
+TEST(Hashing, DeterministicOrderSensitiveDigest) {
+  Hasher a, b, c;
+  a.mix_u64(1);
+  a.mix_u64(2);
+  a.mix_string("x");
+  b.mix_u64(1);
+  b.mix_u64(2);
+  b.mix_string("x");
+  c.mix_u64(2);
+  c.mix_u64(1);
+  c.mix_string("x");
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+  EXPECT_EQ(a.digest().hex().size(), 32u);
+
+  Hasher d, e;
+  d.mix_double(1.0);
+  e.mix_double(-1.0);
+  EXPECT_NE(d.digest(), e.digest());
+}
+
+TEST(Cache, QuantizedCountRoundsUp) {
+  EmbeddingCacheOptions opts;
+  opts.dim_quantum = 8;
+  EmbeddingCache cache(opts);
+  EXPECT_EQ(cache.quantized_count(1), 8u);
+  EXPECT_EQ(cache.quantized_count(8), 8u);
+  EXPECT_EQ(cache.quantized_count(10), 16u);
+  EXPECT_EQ(cache.quantized_count(16), 16u);
+}
+
+TEST(Cache, KeyIgnoresUnrelatedOptionsButSeesGraphAndSolver) {
+  const graph::Graph g = model::clique_expand(
+      small_netlist(), model::NetModel::kPartitioningSpecific);
+  const graph::Graph g2 = model::clique_expand(
+      small_netlist(11), model::NetModel::kPartitioningSpecific);
+  spectral::EmbeddingOptions e;
+  const Fingerprint base = EmbeddingCache::eigen_key(g, e, 16);
+  EXPECT_EQ(base, EmbeddingCache::eigen_key(g, e, 16));
+  EXPECT_NE(base, EmbeddingCache::eigen_key(g2, e, 16));
+  EXPECT_NE(base, EmbeddingCache::eigen_key(g, e, 24));
+  spectral::EmbeddingOptions seeded = e;
+  seeded.seed ^= 1;
+  EXPECT_NE(base, EmbeddingCache::eigen_key(g, seeded, 16));
+  // Threading is a how, not a what: it must not change the content key.
+  spectral::EmbeddingOptions threaded = e;
+  threaded.parallel = ParallelConfig::with_threads(8);
+  EXPECT_EQ(base, EmbeddingCache::eigen_key(g, threaded, 16));
+}
+
+TEST(Cache, RepeatedSolveHitsAndSkipsEigensolve) {
+  const graph::Graph g = model::clique_expand(
+      small_netlist(), model::NetModel::kPartitioningSpecific);
+  spectral::EmbeddingOptions e;
+  e.count = 8;
+
+  EmbeddingCache cache;
+  Diagnostics cold, warm;
+  const spectral::EigenBasis b1 = cache.compute(g, e, &cold, nullptr);
+  const spectral::EigenBasis b2 = cache.compute(g, e, &warm, nullptr);
+
+  EXPECT_TRUE(has_stage(cold, "eigensolve"));
+  EXPECT_FALSE(has_stage(cold, "embedding_cache_hit"));
+  EXPECT_TRUE(has_stage(warm, "embedding_cache_hit"));
+  EXPECT_FALSE(has_stage(warm, "eigensolve"));
+
+  const EmbeddingCacheStats s = cache.stats();
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  expect_same_basis(b1, b2);
+}
+
+TEST(Cache, PrefixReuseServesSmallerDFromOneEntry) {
+  const graph::Graph g = model::clique_expand(
+      small_netlist(), model::NetModel::kPartitioningSpecific);
+  spectral::EmbeddingOptions e10;
+  e10.count = 10;  // quantized to 16
+  spectral::EmbeddingOptions e12 = e10;
+  e12.count = 12;  // same bucket
+
+  EmbeddingCache cache;
+  const spectral::EigenBasis b10 = cache.compute(g, e10, nullptr, nullptr);
+  Diagnostics warm;
+  const spectral::EigenBasis b12 = cache.compute(g, e12, &warm, nullptr);
+
+  EXPECT_EQ(b10.dimension(), 10u);
+  EXPECT_EQ(b12.dimension(), 12u);
+  EXPECT_FALSE(has_stage(warm, "eigensolve"));
+
+  const EmbeddingCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.prefix_hits, 1u);
+  EXPECT_EQ(s.entries, 1u);
+
+  // The smaller basis is the exact leading prefix of the larger one.
+  for (std::size_t j = 0; j < 10; ++j) {
+    EXPECT_EQ(b10.values[j], b12.values[j]);
+    for (std::size_t i = 0; i < b10.n; ++i)
+      EXPECT_EQ(b10.vectors.at(i, j), b12.vectors.at(i, j));
+  }
+}
+
+TEST(Cache, LruEvictionUnderByteBudget) {
+  spectral::EmbeddingOptions e;
+  e.count = 8;
+  const auto expand = [](std::uint64_t seed) {
+    return model::clique_expand(small_netlist(seed),
+                                model::NetModel::kPartitioningSpecific);
+  };
+  const graph::Graph g1 = expand(1), g2 = expand(2), g3 = expand(3);
+
+  // Learn one entry's footprint, then budget for two.
+  EmbeddingCache probe;
+  probe.compute(g1, e, nullptr, nullptr);
+  const std::size_t entry_bytes = probe.stats().bytes;
+  ASSERT_GT(entry_bytes, 0u);
+
+  EmbeddingCacheOptions opts;
+  opts.max_bytes = 2 * entry_bytes + entry_bytes / 2;
+  EmbeddingCache cache(opts);
+  cache.compute(g1, e, nullptr, nullptr);
+  cache.compute(g2, e, nullptr, nullptr);
+  cache.compute(g3, e, nullptr, nullptr);  // evicts g1 (LRU)
+
+  EmbeddingCacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_LE(s.bytes, opts.max_bytes);
+
+  // g3 and g2 survived; g1 must miss again.
+  cache.compute(g3, e, nullptr, nullptr);
+  cache.compute(g2, e, nullptr, nullptr);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  cache.compute(g1, e, nullptr, nullptr);
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(Cache, DisabledCacheNeverStoresAndSkipsQuantization) {
+  const graph::Graph g = model::clique_expand(
+      small_netlist(), model::NetModel::kPartitioningSpecific);
+  spectral::EmbeddingOptions e;
+  e.count = 10;
+  EmbeddingCacheOptions opts;
+  opts.max_bytes = 0;
+  EmbeddingCache cache(opts);
+  const spectral::EigenBasis b = cache.compute(g, e, nullptr, nullptr);
+  EXPECT_EQ(b.dimension(), 10u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // Byte-identical to the raw pipeline when disabled.
+  const spectral::EigenBasis raw = spectral::compute_eigenbasis(g, e);
+  expect_same_basis(b, raw);
+}
+
+TEST(Service, RepeatedRequestIsByteIdenticalAndHitsCache) {
+  PartitionService svc;
+  const PartitionRequest req = make_request();
+  const PartitionResponse cold = svc.execute(req);
+  const PartitionResponse cached = svc.execute(req);
+  EXPECT_EQ(cold.status, "ok");
+  EXPECT_EQ(wire(cold), wire(cached));
+
+  const EmbeddingCacheStats s = svc.cache_stats();
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.hits, 1u);
+
+  const MetricsSnapshot m = svc.snapshot();
+  EXPECT_EQ(m.requests_total, 2u);
+  EXPECT_EQ(m.responses_ok, 2u);
+  EXPECT_EQ(m.latency.total, 2u);
+}
+
+TEST(Service, ByteIdenticalAcrossKernelThreadCounts) {
+  // A graph above the dense threshold, so the Lanczos kernels (the
+  // parallel code path) actually run. The fixed-block reduction contract
+  // plus the server-side thread override must make the serialized
+  // response independent of the kernel thread count.
+  PartitionRequest req = make_request();
+  req.graph = small_netlist(7, 400);
+
+  ServiceOptions serial;
+  serial.parallel = ParallelConfig::with_threads(1);
+  ServiceOptions threaded;
+  threaded.parallel = ParallelConfig::with_threads(8);
+
+  PartitionService svc1(serial);
+  PartitionService svc8(threaded);
+  const std::string cold1 = wire(svc1.execute(req));
+  const std::string warm1 = wire(svc1.execute(req));
+  const std::string cold8 = wire(svc8.execute(req));
+  const std::string warm8 = wire(svc8.execute(req));
+  EXPECT_EQ(cold1, warm1);
+  EXPECT_EQ(cold1, cold8);
+  EXPECT_EQ(cold1, warm8);
+}
+
+TEST(Service, MultiwayRequestsServeFromTheSameEmbedding) {
+  // k and balance are not part of the cache key: a k=4 request after a
+  // k=2 request on the same graph reuses the embedding.
+  PartitionService svc;
+  PartitionRequest req = make_request();
+  const PartitionResponse r2 = svc.execute(req);
+  req.k = 4;
+  const PartitionResponse r4 = svc.execute(req);
+  EXPECT_EQ(r2.status, "ok");
+  EXPECT_EQ(r4.status, "ok");
+  EXPECT_EQ(r4.assignment.size(), req.graph.num_nodes());
+  EXPECT_EQ(svc.cache_stats().hits, 1u);
+}
+
+TEST(Service, InvalidRequestYieldsErrorResponse) {
+  PartitionService svc;
+  PartitionRequest req = make_request();
+  req.k = static_cast<std::uint32_t>(req.graph.num_nodes() + 1);
+  const PartitionResponse resp = svc.execute(req);
+  EXPECT_EQ(resp.status, "error");
+  EXPECT_FALSE(resp.error.empty());
+  EXPECT_TRUE(resp.assignment.empty());
+  EXPECT_EQ(svc.snapshot().responses_error, 1u);
+}
+
+TEST(Service, TrySubmitRejectsWhenQueueIsFullWithoutDeadlock) {
+  ServiceOptions opts;
+  opts.num_workers = 1;
+  opts.queue_capacity = 1;
+  PartitionService svc(opts);
+
+  // Fire requests far faster than one worker can drain a capacity-1
+  // queue: some must be rejected, every accepted one must complete.
+  std::vector<std::future<PartitionResponse>> accepted;
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < 24; ++i) {
+    std::future<PartitionResponse> fut;
+    if (svc.try_submit(make_request(), fut))
+      accepted.push_back(std::move(fut));
+    else
+      ++rejected;
+  }
+  EXPECT_GT(rejected, 0u);
+  ASSERT_FALSE(accepted.empty());
+  for (auto& fut : accepted) EXPECT_EQ(fut.get().status, "ok");
+
+  const MetricsSnapshot m = svc.snapshot();
+  EXPECT_EQ(m.rejected, rejected);
+  EXPECT_EQ(m.requests_total, accepted.size());
+  EXPECT_LE(m.queue_peak, opts.queue_capacity);
+}
+
+TEST(Service, BlockingSubmitExertsBackpressureWithoutDeadlock) {
+  ServiceOptions opts;
+  opts.num_workers = 2;
+  opts.queue_capacity = 3;
+  PartitionService svc(opts);
+
+  // Several producers push through a tiny queue; submit() must block
+  // instead of rejecting, and everything must complete.
+  std::vector<std::thread> producers;
+  std::vector<std::future<PartitionResponse>> futures(12);
+  for (std::size_t p = 0; p < 3; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < 4; ++i)
+        futures[4 * p + i] = svc.submit(make_request());
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  for (auto& fut : futures) EXPECT_EQ(fut.get().status, "ok");
+
+  const MetricsSnapshot m = svc.snapshot();
+  EXPECT_EQ(m.requests_total, 12u);
+  EXPECT_EQ(m.rejected, 0u);
+  EXPECT_LE(m.queue_peak, opts.queue_capacity);
+}
+
+TEST(Service, SubmitAfterShutdownThrows) {
+  PartitionService svc;
+  svc.shutdown();
+  EXPECT_THROW(svc.submit(make_request()), Error);
+}
+
+TEST(Protocol, RequestRoundTripIsByteStable) {
+  PartitionRequest req = make_request();
+  req.id = "roundtrip";
+  req.k = 4;
+  req.balance = 0.4;
+  req.pipeline.scaling = core::CoordScaling::kGap;
+  req.pipeline.lazy_ranking = true;
+  req.pipeline.seed = 99;
+
+  std::ostringstream first;
+  write_request(req, first);
+  std::istringstream in(first.str());
+  const std::optional<PartitionRequest> parsed = read_request(in);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->id, "roundtrip");
+  EXPECT_EQ(parsed->k, 4u);
+  EXPECT_EQ(parsed->pipeline.scaling, core::CoordScaling::kGap);
+  EXPECT_EQ(parsed->graph.num_nodes(), req.graph.num_nodes());
+  EXPECT_EQ(parsed->graph.num_nets(), req.graph.num_nets());
+
+  std::ostringstream second;
+  write_request(*parsed, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Protocol, ResponseRoundTripIsByteStable) {
+  PartitionResponse resp;
+  resp.id = "r1";
+  resp.status = "ok";
+  resp.k = 2;
+  resp.cut = 13;
+  resp.scaled_cost = 0.015625;
+  resp.ratio_cut = 0.001953125;
+  resp.eigenvectors_used = 8;
+  resp.eigen_converged = true;
+  resp.assignment = {0, 1, 1, 0, 1};
+
+  std::ostringstream first;
+  write_response(resp, first);
+  std::istringstream in(first.str());
+  const std::optional<PartitionResponse> parsed = read_response(in);
+  ASSERT_TRUE(parsed.has_value());
+  std::ostringstream second;
+  write_response(*parsed, second);
+  EXPECT_EQ(first.str(), second.str());
+
+  PartitionResponse err;
+  err.id = "r2";
+  err.status = "error";
+  err.error = "request k exceeds the vertex count";
+  std::ostringstream efirst;
+  write_response(err, efirst);
+  std::istringstream ein(efirst.str());
+  const std::optional<PartitionResponse> eparsed = read_response(ein);
+  ASSERT_TRUE(eparsed.has_value());
+  EXPECT_EQ(eparsed->error, err.error);
+  std::ostringstream esecond;
+  write_response(*eparsed, esecond);
+  EXPECT_EQ(efirst.str(), esecond.str());
+}
+
+TEST(Protocol, MalformedInputThrows) {
+  std::istringstream empty("");
+  EXPECT_FALSE(read_request(empty).has_value());
+
+  std::istringstream bad_verb("HELLO a=1\n");
+  EXPECT_THROW(read_request(bad_verb), Error);
+
+  std::istringstream unknown_field("REQUEST id=x bogus=1 graph_lines=0\nEND\n");
+  EXPECT_THROW(read_request(unknown_field), Error);
+
+  std::istringstream truncated("REQUEST id=x graph_lines=5\n1 2\n");
+  EXPECT_THROW(read_request(truncated), Error);
+}
+
+TEST(Protocol, JsonMirrorsResponseFields) {
+  PartitionService svc;
+  const PartitionResponse resp = svc.execute(make_request());
+  const std::string json = response_to_json(resp);
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"cut\": "), std::string::npos);
+  EXPECT_NE(json.find("\"assignment\": ["), std::string::npos);
+}
+
+TEST(Metrics, HistogramQuantilesBracketRecordedValues) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(0.010);  // 10ms
+  for (int i = 0; i < 10; ++i) h.record(1.0);     // 1s tail
+  const LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.total, 110u);
+  EXPECT_NEAR(s.mean(), (100 * 0.010 + 10 * 1.0) / 110.0, 1e-9);
+  // p50 lands in the 10ms bucket, p99 in the 1s bucket; the log-spaced
+  // buckets bound the error to one resolution step (2^(1/4)).
+  EXPECT_GT(s.quantile(0.5), 0.010 / 1.2);
+  EXPECT_LT(s.quantile(0.5), 0.010 * 1.2);
+  EXPECT_GT(s.quantile(0.99), 1.0 / 1.2);
+  EXPECT_LT(s.quantile(0.99), 1.0 * 1.2);
+  // q = 0 estimates the minimum: the lower edge of the first occupied
+  // bucket, which sits one resolution step below the 10ms samples.
+  EXPECT_LE(s.quantile(0.0), 0.010);
+  EXPECT_GT(s.quantile(0.0), 0.0);
+
+  for (std::size_t i = 1; i < LatencyHistogram::kBuckets; ++i)
+    EXPECT_GT(LatencyHistogram::bucket_upper(i),
+              LatencyHistogram::bucket_upper(i - 1));
+}
+
+TEST(Metrics, SnapshotCountsByStatusAndRendersPercentiles) {
+  ServiceMetrics m;
+  m.on_submitted();
+  m.on_submitted();
+  m.on_submitted();
+  m.on_completed("ok", 0.002);
+  m.on_completed("degraded", 0.004);
+  m.on_completed("error", 0.001);
+  m.on_rejected();
+  m.on_enqueued(3);
+  m.on_dequeued(2);
+
+  const MetricsSnapshot s = m.snapshot();
+  EXPECT_EQ(s.requests_total, 3u);
+  EXPECT_EQ(s.responses_ok, 1u);
+  EXPECT_EQ(s.responses_degraded, 1u);
+  EXPECT_EQ(s.responses_error, 1u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.queue_depth, 2u);
+  EXPECT_EQ(s.queue_peak, 3u);
+
+  const std::string text = s.render_text();
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("p95"), std::string::npos);
+  EXPECT_NE(text.find("hit_rate"), std::string::npos);
+
+  // The wire frame and the text rendering derive from one flattening.
+  EXPECT_FALSE(s.key_values().empty());
+}
+
+TEST(PipelineConfig, TokensRoundTrip) {
+  using core::CoordScaling;
+  using core::SelectionRule;
+  for (CoordScaling v : {CoordScaling::kSqrtGap, CoordScaling::kGap,
+                         CoordScaling::kInvSqrtLambda, CoordScaling::kUnit})
+    EXPECT_EQ(core::parse_coord_scaling(core::coord_scaling_token(v)), v);
+  for (SelectionRule v : {SelectionRule::kMagnitude, SelectionRule::kProjection,
+                          SelectionRule::kCosine})
+    EXPECT_EQ(core::parse_selection_rule(core::selection_rule_token(v)), v);
+  for (model::NetModel v :
+       {model::NetModel::kStandard, model::NetModel::kPartitioningSpecific,
+        model::NetModel::kFrankle})
+    EXPECT_EQ(core::parse_net_model(core::net_model_token(v)), v);
+  EXPECT_THROW(core::parse_coord_scaling("nope"), Error);
+  EXPECT_THROW(core::parse_net_model(""), Error);
+}
+
+TEST(PipelineConfig, FlowsIntoStageOptions) {
+  core::PipelineConfig cfg;
+  cfg.num_eigenvectors = 12;
+  cfg.include_trivial = false;
+  cfg.seed = 1234;
+  cfg.lazy_ranking = true;
+  cfg.lazy_window = 7;
+  const spectral::EmbeddingOptions e = cfg.embedding_options();
+  EXPECT_EQ(e.count, 12u);
+  EXPECT_TRUE(e.skip_trivial);
+  const core::MeloOrderingOptions o = cfg.ordering_options(2);
+  EXPECT_TRUE(o.lazy_ranking);
+  EXPECT_EQ(o.lazy_window, 7u);
+  EXPECT_EQ(o.start_rank, 2u);
+}
+
+}  // namespace
+}  // namespace specpart::service
