@@ -7,7 +7,9 @@
 #include "core/melo.h"
 #include "core/reduction.h"
 #include "graph/generator.h"
+#include "model/assembly.h"
 #include "model/clique_models.h"
+#include "seed_assembly.h"
 #include "part/fm.h"
 #include "spectral/dprp.h"
 #include "spectral/embedding.h"
@@ -154,6 +156,49 @@ void BM_CliqueExpand(benchmark::State& state) {
 }
 BENCHMARK(BM_CliqueExpand)->Arg(1500)->Arg(6000)->Unit(
     benchmark::kMillisecond);
+
+void BM_AssemblySeedPath(benchmark::State& state) {
+  // The pre-refactor pins -> edges -> triplets -> sorted-CSR path, kept as
+  // a local replica (bench/seed_assembly.h); the baseline the fused
+  // assembler is measured against.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Hypergraph h = make_netlist(n);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(bench::seed_clique_laplacian(
+        h, model::NetModel::kPartitioningSpecific));
+  state.SetLabel("n=" + std::to_string(n) + " seed triplet path");
+}
+BENCHMARK(BM_AssemblySeedPath)->Arg(1500)->Arg(6000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_AssemblyFused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Hypergraph h = make_netlist(n);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(model::build_clique_laplacian(
+        h, model::NetModel::kPartitioningSpecific));
+  state.SetLabel("n=" + std::to_string(n) + " fused cold build");
+}
+BENCHMARK(BM_AssemblyFused)->Arg(1500)->Arg(6000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_AssemblyFusedThreaded(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const graph::Hypergraph h = make_netlist(n);
+  model::ModelBuildOptions opts;
+  opts.parallel = ParallelConfig::with_threads(threads);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(model::build_clique_laplacian(
+        h, model::NetModel::kPartitioningSpecific, opts));
+  state.SetLabel("n=" + std::to_string(n) + " fused threads:" +
+                 std::to_string(threads));
+}
+BENCHMARK(BM_AssemblyFusedThreaded)
+    ->Args({6000, 1})
+    ->Args({6000, 2})
+    ->Args({6000, 8})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

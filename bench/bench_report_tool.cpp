@@ -21,7 +21,9 @@
 #include "graph/generator.h"
 #include "graph/laplacian.h"
 #include "linalg/lanczos.h"
+#include "model/assembly.h"
 #include "model/clique_models.h"
+#include "seed_assembly.h"
 #include "service/service.h"
 #include "spectral/dprp.h"
 #include "spectral/embedding.h"
@@ -169,6 +171,42 @@ int main(int argc, char** argv) {
       r.parallel_seconds =
           time_median([&] { spectral::dprp_split(h, runs[0].ordering, opts); });
       results.push_back(r);
+    }
+
+    {
+      // Sparse data plane: cold hypergraph -> Laplacian build. The
+      // "assembly" row reuses the serial/parallel columns for a different
+      // comparison — serial_seconds is the seed repo's triplet path
+      // (replicated in bench/seed_assembly.h; the library no longer
+      // contains it) and parallel_seconds is the fused single-thread
+      // counting-sort build, so `speedup` records the fused-vs-seed
+      // cold-build ratio the data plane is accountable for (>= 2x).
+      // "assembly_mt" is the conventional pair: fused serial vs fused
+      // threaded.
+      const std::size_t n = scaled(20000);
+      const graph::Hypergraph h = make_netlist(n);
+      KernelResult r{"assembly",
+                     "n=" + std::to_string(n) + " serial=seed parallel=fused"};
+      r.serial_seconds = time_median([&] {
+        bench::seed_clique_laplacian(h,
+                                     model::NetModel::kPartitioningSpecific);
+      });
+      model::ModelBuildOptions fused;
+      fused.parallel = serial;
+      r.parallel_seconds = time_median([&] {
+        model::build_clique_laplacian(
+            h, model::NetModel::kPartitioningSpecific, fused);
+      });
+      results.push_back(r);
+
+      KernelResult rt{"assembly_mt", "n=" + std::to_string(n) + " fused"};
+      rt.serial_seconds = r.parallel_seconds;
+      fused.parallel = par;
+      rt.parallel_seconds = time_median([&] {
+        model::build_clique_laplacian(
+            h, model::NetModel::kPartitioningSpecific, fused);
+      });
+      results.push_back(rt);
     }
 
     {

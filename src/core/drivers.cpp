@@ -36,16 +36,18 @@ std::vector<MeloOrderingRun> melo_orderings(const graph::Hypergraph& h,
   ComputeBudget* budget = opts.budget;
 
   Timer eigen_timer;
-  graph::Graph g;
-  {
-    StageTimerScope model_timer(diag, "model");
-    g = model::clique_expand(h, opts.net_model);
-  }
+  // Lazy clique model: the Laplacian is assembled fused from the pins on
+  // first use; a caching provider that hits never expands the model at all.
+  model::ModelBuildOptions mbopts;
+  mbopts.max_clique_pairs = opts.max_clique_pairs;
+  mbopts.parallel = opts.parallel;
+  const model::CliqueModel cm(h, opts.net_model, mbopts);
   const spectral::EmbeddingOptions eopts = opts.embedding_options();
   const spectral::EigenBasis basis =
       opts.embedding_provider
-          ? opts.embedding_provider(g, eopts, diag, budget)
-          : spectral::compute_eigenbasis(g, eopts, diag, budget);
+          ? opts.embedding_provider(cm, eopts, diag, budget)
+          : spectral::compute_eigenbasis(cm.laplacian(diag), eopts, diag,
+                                         budget);
   const double eigen_seconds = eigen_timer.seconds();
 
   // Consume the solver outcome instead of ignoring it: a degraded basis
@@ -97,7 +99,10 @@ std::vector<MeloOrderingRun> melo_orderings(const graph::Hypergraph& h,
       readjust.at = h.num_nodes() / 2;
       readjust.rebuild =
           [&](const std::vector<graph::NodeId>& members) -> VectorInstance {
-        const double degree = set_degree(g, members, scratch);
+        // The clique graph is only needed if readjustment actually fires;
+        // cm derives it lazily (O(nnz) from the Laplacian when that was
+        // built, fused from the pins otherwise).
+        const double degree = set_degree(cm.graph(diag), members, scratch);
         run.h_final = readjusted_h(basis, members, degree);
         return build_scaled_instance(basis, opts.scaling, run.h_final);
       };

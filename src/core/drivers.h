@@ -15,6 +15,7 @@
 #include "core/pipeline_config.h"
 #include "core/reduction.h"
 #include "graph/hypergraph.h"
+#include "model/assembly.h"
 #include "model/clique_models.h"
 #include "part/partition.h"
 #include "spectral/dprp.h"
@@ -24,16 +25,17 @@
 
 namespace specpart::core {
 
-/// Pluggable eigensolve: given the clique-model graph and the embedding
+/// Pluggable eigensolve: given the (lazy) clique model and the embedding
 /// options implied by the pipeline config, produce the eigenbasis. The
-/// default (an unset provider) calls spectral::compute_eigenbasis directly;
-/// the serving layer installs a content-addressed cache here so repeated
-/// requests skip Lanczos entirely. A provider MUST return the same basis
-/// the direct call would (or a deterministic function of the request), or
-/// the serving determinism contract breaks.
+/// default (an unset provider) solves model.laplacian() directly — built
+/// fused from the pins, no intermediate Graph; the serving layer installs
+/// a content-addressed cache here, keyed on the hypergraph itself, so
+/// repeated requests skip both clique expansion and Lanczos. A provider
+/// MUST return the same basis the direct call would (or a deterministic
+/// function of the request), or the serving determinism contract breaks.
 using EmbeddingProvider = std::function<spectral::EigenBasis(
-    const graph::Graph&, const spectral::EmbeddingOptions&, Diagnostics*,
-    ComputeBudget*)>;
+    const model::CliqueModel&, const spectral::EmbeddingOptions&,
+    Diagnostics*, ComputeBudget*)>;
 
 /// PipelineConfig (the value-semantic knobs, shared with the service's
 /// PartitionRequest) plus the per-run attachments that only make sense for

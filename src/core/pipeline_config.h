@@ -59,6 +59,12 @@ struct PipelineConfig {
   /// (see EmbeddingOptions::dense_fallback_limit; 0 disables).
   std::size_t dense_fallback_limit = 2048;
   std::uint64_t seed = 0x3E10ULL;
+  /// Clique-pair admission budget for the net model: when > 0 and the
+  /// exact expansion size sum p(p-1)/2 exceeds it, the pipeline fails fast
+  /// with a structured `model_too_large` Error instead of attempting the
+  /// allocation (see model::ModelBuildOptions::max_clique_pairs).
+  /// 0 = unlimited.
+  std::size_t max_clique_pairs = 0;
   /// Compute-kernel threading (see util/parallel.h), forwarded to the
   /// eigensolver, the MELO greedy scan and the DP-RP split. The serial
   /// default is byte-identical to the pre-parallel implementation.

@@ -7,54 +7,51 @@
 namespace specpart::graph {
 
 Graph::Graph(std::size_t num_nodes, const std::vector<Edge>& edges) {
-  // Canonicalize: u < v, drop self-loops, then merge parallels.
-  std::vector<Edge> canon;
-  canon.reserve(edges.size());
-  for (Edge e : edges) {
+  // Canonicalize into the shared assembler: drop self-loops, add both
+  // directions. The counting sort orders rows, the stable merge sums
+  // parallel edges in input order.
+  linalg::CsrAssembler& ws = linalg::thread_assembly_workspace();
+  ws.begin(num_nodes);
+  ws.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
     SP_ASSERT(e.u < num_nodes && e.v < num_nodes);
     if (e.u == e.v) continue;
-    if (e.u > e.v) std::swap(e.u, e.v);
-    canon.push_back(e);
+    ws.add_edge(e.u, e.v, e.weight);
   }
-  std::sort(canon.begin(), canon.end(), [](const Edge& a, const Edge& b) {
-    return a.u != b.u ? a.u < b.u : a.v < b.v;
-  });
-  edges_.reserve(canon.size());
-  for (std::size_t i = 0; i < canon.size();) {
-    std::size_t j = i;
-    double w = 0.0;
-    while (j < canon.size() && canon[j].u == canon[i].u &&
-           canon[j].v == canon[i].v) {
-      w += canon[j].weight;
-      ++j;
-    }
-    edges_.push_back({canon[i].u, canon[i].v, w});
-    total_weight_ += w;
-    i = j;
-  }
-
-  // CSR adjacency over the merged edges (both directions).
-  degree_offset_.assign(num_nodes + 1, 0);
-  for (const Edge& e : edges_) {
-    ++degree_offset_[e.u + 1];
-    ++degree_offset_[e.v + 1];
-  }
-  for (std::size_t i = 0; i < num_nodes; ++i)
-    degree_offset_[i + 1] += degree_offset_[i];
-  adjacency_.resize(edges_.size() * 2);
-  std::vector<std::size_t> cursor(degree_offset_.begin(),
-                                  degree_offset_.end() - 1);
-  for (const Edge& e : edges_) {
-    adjacency_[cursor[e.u]++] = {e.v, e.weight};
-    adjacency_[cursor[e.v]++] = {e.u, e.weight};
-  }
+  ws.finish(adjacency_);
+  derive_from_adjacency();
 }
 
-double Graph::degree(NodeId v) const {
-  double d = 0.0;
-  for (std::size_t s = adjacency_begin(v); s < adjacency_end(v); ++s)
-    d += adjacency_[s].weight;
-  return d;
+Graph::Graph(std::size_t num_nodes, linalg::CsrAssembler& pending,
+             const ParallelConfig& par) {
+  pending.finish(adjacency_, par);
+  SP_ASSERT(adjacency_.num_rows() == num_nodes);
+  derive_from_adjacency();
+}
+
+Graph::Graph(linalg::CsrStorage adjacency) : adjacency_(std::move(adjacency)) {
+  derive_from_adjacency();
+}
+
+void Graph::derive_from_adjacency() {
+  const std::size_t n = adjacency_.num_rows();
+  degree_.assign(n, 0.0);
+  edges_.clear();
+  edges_.reserve(adjacency_.nnz() / 2);
+  total_weight_ = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    double d = 0.0;
+    for (std::size_t s = adjacency_.offsets[v]; s < adjacency_.offsets[v + 1];
+         ++s) {
+      d += adjacency_.values[s];
+      if (adjacency_.cols[s] > v) {
+        edges_.push_back({static_cast<NodeId>(v), adjacency_.cols[s],
+                          adjacency_.values[s]});
+        total_weight_ += adjacency_.values[s];
+      }
+    }
+    degree_[v] = d;
+  }
 }
 
 std::vector<std::uint32_t> Graph::component_labels() const {
@@ -70,7 +67,7 @@ std::vector<std::uint32_t> Graph::component_labels() const {
       const NodeId v = stack.back();
       stack.pop_back();
       for (std::size_t s = adjacency_begin(v); s < adjacency_end(v); ++s) {
-        const NodeId u = adjacency_[s].node;
+        const NodeId u = adjacency_.cols[s];
         if (label[u] == UINT32_MAX) {
           label[u] = next;
           stack.push_back(u);
@@ -97,14 +94,16 @@ Graph Graph::induced_subgraph(const std::vector<NodeId>& nodes) const {
                "induced_subgraph: duplicate vertex id");
     remap[nodes[i]] = static_cast<std::uint32_t>(i);
   }
-  std::vector<Edge> sub_edges;
+  // Stream surviving edges straight into the workspace — no intermediate
+  // edge vector.
+  linalg::CsrAssembler& ws = linalg::thread_assembly_workspace();
+  ws.begin(nodes.size());
   for (const Edge& e : edges_) {
     const std::uint32_t u = remap[e.u];
     const std::uint32_t v = remap[e.v];
-    if (u != UINT32_MAX && v != UINT32_MAX)
-      sub_edges.push_back({u, v, e.weight});
+    if (u != UINT32_MAX && v != UINT32_MAX) ws.add_edge(u, v, e.weight);
   }
-  return Graph(nodes.size(), sub_edges);
+  return Graph(nodes.size(), ws);
 }
 
 }  // namespace specpart::graph

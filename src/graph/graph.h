@@ -3,11 +3,16 @@
 // This is the representation spectral algorithms operate on: netlists
 // (hypergraphs) are first expanded through a clique/star model (src/model)
 // into a Graph, whose Laplacian eigenvectors drive every heuristic in the
-// paper.
+// paper. The adjacency lives in the shared linalg::CsrStorage layout
+// (linalg/csr.h), assembled by the counting-sort CsrAssembler — the same
+// structure the Laplacian uses, so graph -> matrix conversion is an O(nnz)
+// copy.
 #pragma once
 
 #include <cstdint>
 #include <vector>
+
+#include "linalg/csr.h"
 
 namespace specpart::graph {
 
@@ -22,8 +27,9 @@ struct Edge {
 
 /// Immutable weighted undirected graph with CSR adjacency.
 ///
-/// Construction merges parallel edges (weights summed) and rejects
-/// self-loops (they never arise from net models and have no effect on cuts).
+/// Construction merges parallel edges (weights summed in input order — the
+/// assembler's stable-merge contract) and rejects self-loops (they never
+/// arise from net models and have no effect on cuts).
 class Graph {
  public:
   Graph() = default;
@@ -32,11 +38,28 @@ class Graph {
   /// Parallel edges are merged by summing weights.
   Graph(std::size_t num_nodes, const std::vector<Edge>& edges);
 
-  std::size_t num_nodes() const { return degree_offset_.empty() ? 0 : degree_offset_.size() - 1; }
+  /// Builds a graph from an assembler already loaded with this graph's
+  /// edges (both directions, no self-loops). Finishes the assembly; the
+  /// workspace stays reusable. This is the zero-copy entry point clique
+  /// expansion and induced_subgraph stream into.
+  Graph(std::size_t num_nodes, linalg::CsrAssembler& pending,
+        const ParallelConfig& par = {});
+
+  /// Adopts an already-assembled adjacency (sorted merged rows, both
+  /// directions, no self-entries) — how a graph is recovered from a fused
+  /// Laplacian without redoing the expansion.
+  explicit Graph(linalg::CsrStorage adjacency);
+
+  std::size_t num_nodes() const { return adjacency_.num_rows(); }
   std::size_t num_edges() const { return edges_.size(); }
 
-  /// Weighted degree: sum of incident edge weights.
-  double degree(NodeId v) const;
+  /// Weighted degree: sum of incident edge weights. O(1) — degrees are
+  /// accumulated once at construction (in ascending neighbour order, the
+  /// same order a row re-scan would use).
+  double degree(NodeId v) const { return degree_[v]; }
+
+  /// All weighted degrees, indexed by vertex.
+  const std::vector<double>& degrees() const { return degree_; }
 
   /// Sum of all edge weights.
   double total_edge_weight() const { return total_weight_; }
@@ -50,9 +73,18 @@ class Graph {
     NodeId node;
     double weight;
   };
-  std::size_t adjacency_begin(NodeId v) const { return degree_offset_[v]; }
-  std::size_t adjacency_end(NodeId v) const { return degree_offset_[v + 1]; }
-  const Neighbour& neighbour(std::size_t slot) const { return adjacency_[slot]; }
+  std::size_t adjacency_begin(NodeId v) const {
+    return adjacency_.offsets[v];
+  }
+  std::size_t adjacency_end(NodeId v) const {
+    return adjacency_.offsets[v + 1];
+  }
+  Neighbour neighbour(std::size_t slot) const {
+    return {adjacency_.cols[slot], adjacency_.values[slot]};
+  }
+
+  /// The adjacency in the shared CSR layout (columns sorted per row).
+  const linalg::CsrStorage& adjacency_csr() const { return adjacency_; }
 
   /// Number of connected components.
   std::size_t num_components() const;
@@ -68,9 +100,12 @@ class Graph {
   Graph induced_subgraph(const std::vector<NodeId>& nodes) const;
 
  private:
-  std::vector<Edge> edges_;            // unique, u < v
-  std::vector<std::size_t> degree_offset_;
-  std::vector<Neighbour> adjacency_;
+  /// Rebuilds edges_, degree_ and total_weight_ from adjacency_.
+  void derive_from_adjacency();
+
+  std::vector<Edge> edges_;  // unique, u < v, ascending (u, v)
+  linalg::CsrStorage adjacency_;
+  std::vector<double> degree_;
   double total_weight_ = 0.0;
 };
 

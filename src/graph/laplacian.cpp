@@ -1,22 +1,68 @@
 #include "graph/laplacian.h"
 
+#include <utility>
+
+#include "util/error.h"
+
 namespace specpart::graph {
 
 linalg::SymCsrMatrix build_laplacian(const Graph& g) {
-  std::vector<linalg::Triplet> triplets;
-  triplets.reserve(g.num_edges() + g.num_nodes());
-  for (const Edge& e : g.edges())
-    triplets.push_back({e.u, e.v, -e.weight});
-  for (NodeId v = 0; v < g.num_nodes(); ++v)
-    triplets.push_back({v, v, g.degree(v)});
-  return linalg::SymCsrMatrix(g.num_nodes(), triplets);
+  const linalg::CsrStorage& adj = g.adjacency_csr();
+  const std::size_t n = g.num_nodes();
+  linalg::CsrStorage q;
+  q.offsets.resize(n + 1);
+  q.offsets[0] = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    q.offsets[i + 1] = q.offsets[i] + (adj.row_end(i) - adj.row_begin(i)) + 1;
+  q.cols.resize(q.offsets[n]);
+  q.values.resize(q.offsets[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t w = q.offsets[i];
+    std::size_t k = adj.row_begin(i);
+    for (; k < adj.row_end(i) && adj.cols[k] < i; ++k) {
+      q.cols[w] = adj.cols[k];
+      q.values[w] = -adj.values[k];
+      ++w;
+    }
+    q.cols[w] = static_cast<std::uint32_t>(i);
+    q.values[w] = g.degree(static_cast<NodeId>(i));
+    ++w;
+    for (; k < adj.row_end(i); ++k) {
+      q.cols[w] = adj.cols[k];
+      q.values[w] = -adj.values[k];
+      ++w;
+    }
+  }
+  return linalg::SymCsrMatrix(std::move(q));
 }
 
 linalg::SymCsrMatrix build_adjacency(const Graph& g) {
-  std::vector<linalg::Triplet> triplets;
-  triplets.reserve(g.num_edges());
-  for (const Edge& e : g.edges()) triplets.push_back({e.u, e.v, e.weight});
-  return linalg::SymCsrMatrix(g.num_nodes(), triplets);
+  return linalg::SymCsrMatrix(linalg::CsrStorage(g.adjacency_csr()));
+}
+
+Graph adjacency_graph(const linalg::SymCsrMatrix& laplacian) {
+  const linalg::CsrStorage& q = laplacian.csr();
+  const std::size_t n = q.num_rows();
+  linalg::CsrStorage adj;
+  adj.offsets.resize(n + 1);
+  adj.offsets[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t len = q.row_end(i) - q.row_begin(i);
+    SP_ASSERT(len >= 1);  // every Laplacian row stores its diagonal
+    adj.offsets[i + 1] = adj.offsets[i] + len - 1;
+  }
+  adj.cols.resize(adj.offsets[n]);
+  adj.values.resize(adj.offsets[n]);
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = q.row_begin(i); k < q.row_end(i); ++k) {
+      if (q.cols[k] == i) continue;
+      adj.cols[w] = q.cols[k];
+      adj.values[w] = -q.values[k];  // negation is exact: same bits as A
+      ++w;
+    }
+  }
+  return Graph(std::move(adj));
 }
 
 }  // namespace specpart::graph

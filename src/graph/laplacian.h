@@ -3,7 +3,8 @@
 // The Laplacian Q = D - A is the central object of the paper: its
 // eigenvectors drive SB, RSB, KP, SFC and MELO, and trace(X^T Q X) equals
 // the (doubled) cut of the partition encoded by assignment matrix X
-// (Theorem 1).
+// (Theorem 1). Graph and matrix share the CsrStorage layout, so every
+// conversion here is a single O(nnz) copy pass — no triplets, no sorting.
 #pragma once
 
 #include "graph/graph.h"
@@ -11,10 +12,18 @@
 
 namespace specpart::graph {
 
-/// Builds the Laplacian Q = D - A as a symmetric sparse matrix.
+/// Builds the Laplacian Q = D - A as a symmetric sparse matrix. O(nnz):
+/// copies the adjacency rows with negated values and splices the stored
+/// weighted degree in at each diagonal's sorted position.
 linalg::SymCsrMatrix build_laplacian(const Graph& g);
 
-/// Builds the weighted adjacency matrix A.
+/// Builds the weighted adjacency matrix A. O(nnz) storage copy.
 linalg::SymCsrMatrix build_adjacency(const Graph& g);
+
+/// Recovers the graph underlying a Laplacian built by build_laplacian or
+/// model::build_clique_laplacian: strips each row's diagonal and negates
+/// the off-diagonals (exact in floating point), then re-derives edges and
+/// degrees. O(nnz); requires every row to hold its diagonal entry.
+Graph adjacency_graph(const linalg::SymCsrMatrix& laplacian);
 
 }  // namespace specpart::graph

@@ -181,8 +181,11 @@ void write_netd(const Hypergraph& h, std::ostream& out) {
       << h.num_nodes() << '\n'
       << 0 << '\n';
   const auto& names = h.node_names();
-  auto name_of = [&](NodeId v) {
-    return names.empty() ? "a" + std::to_string(v) : names[v];
+  auto name_of = [&](NodeId v) -> std::string {
+    if (!names.empty()) return names[v];
+    std::string name("a");
+    name += std::to_string(v);
+    return name;
   };
   for (NetId e = 0; e < h.num_nets(); ++e) {
     const auto& pins = h.net(e);

@@ -1,0 +1,147 @@
+#include "linalg/csr.h"
+
+#include "util/error.h"
+
+namespace specpart::linalg {
+
+void CsrAssembler::begin(std::size_t num_rows) {
+  num_rows_ = num_rows;
+  entries_.clear();
+}
+
+void CsrAssembler::reserve(std::size_t num_entries) {
+  entries_.reserve(num_entries);
+}
+
+void CsrAssembler::sort_entries() {
+  const std::size_t n = num_rows_;
+  scratch_.resize(entries_.size());
+
+  // Stable counting sort by column into scratch_.
+  bucket_.assign(n + 1, 0);
+  for (const Entry& e : entries_) {
+    SP_ASSERT(e.row < n && e.col < n);
+    ++bucket_[e.col + 1];
+  }
+  for (std::size_t c = 1; c <= n; ++c) bucket_[c] += bucket_[c - 1];
+  for (const Entry& e : entries_) scratch_[bucket_[e.col]++] = e;
+
+  // Stable counting sort by row back into entries_. After both passes the
+  // entries are ordered by (row, col) with ties in insertion order.
+  bucket_.assign(n + 1, 0);
+  for (const Entry& e : scratch_) ++bucket_[e.row + 1];
+  for (std::size_t r = 1; r <= n; ++r) bucket_[r] += bucket_[r - 1];
+  row_start_.assign(bucket_.begin(), bucket_.end());
+  for (const Entry& e : scratch_) entries_[bucket_[e.row]++] = e;
+}
+
+void CsrAssembler::finish(CsrStorage& out, const ParallelConfig& par) {
+  sort_entries();
+  const std::size_t n = num_rows_;
+
+  // Merged entry count per row (each row scanned independently).
+  row_nnz_.assign(n, 0);
+  parallel_for(par, 0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::size_t count = 0;
+      for (std::size_t k = row_start_[i]; k < row_start_[i + 1];) {
+        const std::uint32_t c = entries_[k].col;
+        ++count;
+        do ++k;
+        while (k < row_start_[i + 1] && entries_[k].col == c);
+      }
+      row_nnz_[i] = count;
+    }
+  });
+
+  out.offsets.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    out.offsets[i + 1] = out.offsets[i] + row_nnz_[i];
+  out.cols.resize(out.offsets[n]);
+  out.values.resize(out.offsets[n]);
+
+  // Merge + materialize. Duplicates are summed left-to-right (insertion
+  // order); each row writes a disjoint slice, so any thread count produces
+  // the same bits.
+  parallel_for(par, 0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::size_t w = out.offsets[i];
+      for (std::size_t k = row_start_[i]; k < row_start_[i + 1];) {
+        const std::uint32_t c = entries_[k].col;
+        double sum = 0.0;
+        do {
+          sum += entries_[k].value;
+          ++k;
+        } while (k < row_start_[i + 1] && entries_[k].col == c);
+        out.cols[w] = c;
+        out.values[w] = sum;
+        ++w;
+      }
+    }
+  });
+}
+
+void CsrAssembler::finish_laplacian(CsrStorage& out,
+                                    std::vector<double>* degrees,
+                                    const ParallelConfig& par) {
+  sort_entries();
+  const std::size_t n = num_rows_;
+  if (degrees != nullptr) degrees->assign(n, 0.0);
+
+  row_nnz_.assign(n, 0);
+  parallel_for(par, 0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::size_t count = 0;
+      for (std::size_t k = row_start_[i]; k < row_start_[i + 1];) {
+        const std::uint32_t c = entries_[k].col;
+        SP_ASSERT(c != i);  // self-entries never arise from net models
+        ++count;
+        do ++k;
+        while (k < row_start_[i + 1] && entries_[k].col == c);
+      }
+      row_nnz_[i] = count;
+    }
+  });
+
+  out.offsets.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    out.offsets[i + 1] = out.offsets[i] + row_nnz_[i] + 1;  // + diagonal
+  out.cols.resize(out.offsets[n]);
+  out.values.resize(out.offsets[n]);
+
+  // Merge + materialize Q = D - A: off-diagonals negated, the weighted
+  // degree (merged row weights summed in ascending column order, matching
+  // what a CSR row scan of the adjacency produces) inserted at the
+  // diagonal's sorted slot.
+  parallel_for(par, 0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::size_t w = out.offsets[i];
+      std::size_t diag_slot = SIZE_MAX;
+      double degree = 0.0;
+      for (std::size_t k = row_start_[i]; k < row_start_[i + 1];) {
+        const std::uint32_t c = entries_[k].col;
+        double sum = 0.0;
+        do {
+          sum += entries_[k].value;
+          ++k;
+        } while (k < row_start_[i + 1] && entries_[k].col == c);
+        degree += sum;
+        if (diag_slot == SIZE_MAX && c > i) diag_slot = w++;
+        out.cols[w] = c;
+        out.values[w] = -sum;
+        ++w;
+      }
+      if (diag_slot == SIZE_MAX) diag_slot = w;
+      out.cols[diag_slot] = static_cast<std::uint32_t>(i);
+      out.values[diag_slot] = degree;
+      if (degrees != nullptr) (*degrees)[i] = degree;
+    }
+  });
+}
+
+CsrAssembler& thread_assembly_workspace() {
+  thread_local CsrAssembler workspace;
+  return workspace;
+}
+
+}  // namespace specpart::linalg

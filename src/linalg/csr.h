@@ -1,0 +1,130 @@
+// Shared sparse data plane: one CSR structure, assembled once, no
+// comparison sorts.
+//
+// Every matrix in the library used to be assembled through its own private
+// path — clique expansion emitted an unmerged edge list, the Graph
+// constructor copied + sorted + merged it, build_laplacian re-expanded the
+// result into triplets, and the SymCsrMatrix constructor mirrored and
+// sorted those all over again. CsrStorage is the single offsets/cols/values
+// triple that both graph::Graph (adjacency) and linalg::SymCsrMatrix now
+// sit on top of, and CsrAssembler is the one builder that fills it:
+//
+//  * Two-pass counting sort. Entries are bucketed by column, then by row
+//    (both passes stable), which orders them by (row, col) with ties in
+//    insertion order — no comparison sort anywhere, O(entries + rows) per
+//    pass.
+//  * Stable merge. Entries with equal (row, col) are summed in insertion
+//    order. This is the library's merge-order contract: the weight of a
+//    merged parallel edge is the sum of its contributions in net order,
+//    independent of how the assembly is threaded.
+//  * Deterministic row-block parallelism. The merge/materialize passes run
+//    under util/parallel.h's fixed-block parallel_for; each row is merged
+//    by one sequential left-to-right scan, so the output is bit-identical
+//    for any thread count.
+//  * Reusable workspace. The assembler owns its scratch buffers and is
+//    reset with begin(); a steady-state server reuses one instance per
+//    worker thread (thread_assembly_workspace()) and performs no
+//    per-request allocation once the buffers reach their high-water mark.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace specpart::linalg {
+
+/// One CSR structure: row offsets (num_rows + 1), column indices and values
+/// ordered by (row, col) with strictly increasing columns within a row.
+struct CsrStorage {
+  std::vector<std::size_t> offsets;
+  std::vector<std::uint32_t> cols;
+  std::vector<double> values;
+
+  std::size_t num_rows() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::size_t nnz() const { return cols.size(); }
+  std::size_t row_begin(std::size_t i) const { return offsets[i]; }
+  std::size_t row_end(std::size_t i) const { return offsets[i + 1]; }
+
+  void clear() {
+    offsets.clear();
+    cols.clear();
+    values.clear();
+  }
+};
+
+/// Reusable two-pass counting-sort CSR assembler (see file comment).
+///
+/// Usage: begin(rows) -> add_edge()/add_entry() -> finish()/
+/// finish_laplacian(). Not thread-safe; use one instance per thread
+/// (thread_assembly_workspace() hands out exactly that).
+class CsrAssembler {
+ public:
+  /// Starts a new assembly over `num_rows` rows, keeping buffer capacity
+  /// from previous assemblies.
+  void begin(std::size_t num_rows);
+
+  /// Pre-sizes the entry buffers for `num_entries` directed entries
+  /// (add_edge contributes two). Call with the exact count when it is
+  /// known — clique expansion computes sum p(p-1)/2 up front — so the
+  /// buffers are materialized once instead of growing geometrically.
+  void reserve(std::size_t num_entries);
+
+  /// Adds one undirected edge: entry (u, v, w) and its mirror (v, u, w).
+  void add_edge(std::uint32_t u, std::uint32_t v, double w) {
+    entries_.push_back({u, v, w});
+    entries_.push_back({v, u, w});
+  }
+
+  /// Adds one directed entry (row, col, w); no mirror.
+  void add_entry(std::uint32_t row, std::uint32_t col, double w) {
+    entries_.push_back({row, col, w});
+  }
+
+  /// Directed entries added since begin().
+  std::size_t num_entries() const { return entries_.size(); }
+
+  /// Sorts (two counting passes, stable), merges duplicates (summed in
+  /// insertion order) and materializes `out`. The merge/materialize passes
+  /// are parallelized over fixed row blocks; the result is bit-identical
+  /// for any thread count. The workspace stays valid for the next begin().
+  void finish(CsrStorage& out, const ParallelConfig& par = {});
+
+  /// Laplacian variant of finish(): treats the entries as a graph
+  /// adjacency, negates every merged off-diagonal entry, and inserts a
+  /// diagonal entry per row holding the weighted degree — the sum of the
+  /// row's merged weights, accumulated in ascending column order — at its
+  /// sorted position. Rows without entries get a zero diagonal. When
+  /// `degrees` is non-null it receives the per-row weighted degrees.
+  /// Self-entries (row == col) must not be present.
+  void finish_laplacian(CsrStorage& out, std::vector<double>* degrees,
+                        const ParallelConfig& par = {});
+
+ private:
+  struct Entry {
+    std::uint32_t row;
+    std::uint32_t col;
+    double value;
+  };
+
+  /// Stable counting sort of entries_ by (row, col) into entries_; fills
+  /// row_start_ with the unmerged per-row offsets.
+  void sort_entries();
+
+  std::size_t num_rows_ = 0;
+  std::vector<Entry> entries_;
+  std::vector<Entry> scratch_;
+  std::vector<std::size_t> bucket_;     // counting-sort histogram / cursors
+  std::vector<std::size_t> row_start_;  // unmerged row offsets (rows + 1)
+  std::vector<std::size_t> row_nnz_;    // merged entries per row
+};
+
+/// Per-thread assembler instance. Graph construction, clique expansion and
+/// the fused Laplacian build all route through this workspace by default,
+/// so a service worker thread reuses one set of buffers across requests.
+CsrAssembler& thread_assembly_workspace();
+
+}  // namespace specpart::linalg

@@ -2,41 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "util/error.h"
 
 namespace specpart::linalg {
 
-SymCsrMatrix::SymCsrMatrix(std::size_t n, const std::vector<Triplet>& triplets)
-    : n_(n), row_ptr_(n + 1, 0) {
-  // Expand: mirror off-diagonal entries so both triangles are stored.
-  std::vector<Triplet> full;
-  full.reserve(triplets.size() * 2);
+SymCsrMatrix::SymCsrMatrix(std::size_t n,
+                           const std::vector<Triplet>& triplets) {
+  SP_ASSERT(n <= std::numeric_limits<std::uint32_t>::max());
+  CsrAssembler& ws = thread_assembly_workspace();
+  ws.begin(n);
+  ws.reserve(triplets.size() * 2);
   for (const Triplet& t : triplets) {
     SP_ASSERT(t.row < n && t.col < n);
-    full.push_back(t);
-    if (t.row != t.col) full.push_back({t.col, t.row, t.value});
+    ws.add_entry(static_cast<std::uint32_t>(t.row),
+                 static_cast<std::uint32_t>(t.col), t.value);
+    if (t.row != t.col)
+      ws.add_entry(static_cast<std::uint32_t>(t.col),
+                   static_cast<std::uint32_t>(t.row), t.value);
   }
-  std::sort(full.begin(), full.end(), [](const Triplet& a, const Triplet& b) {
-    return a.row != b.row ? a.row < b.row : a.col < b.col;
-  });
-  // Merge duplicates and fill CSR arrays.
-  col_idx_.reserve(full.size());
-  values_.reserve(full.size());
-  for (std::size_t i = 0; i < full.size();) {
-    std::size_t j = i;
-    double sum = 0.0;
-    while (j < full.size() && full[j].row == full[i].row &&
-           full[j].col == full[i].col) {
-      sum += full[j].value;
-      ++j;
-    }
-    col_idx_.push_back(full[i].col);
-    values_.push_back(sum);
-    ++row_ptr_[full[i].row + 1];
-    i = j;
-  }
-  for (std::size_t i = 0; i < n; ++i) row_ptr_[i + 1] += row_ptr_[i];
+  ws.finish(storage_);
 }
 
 void SymCsrMatrix::matvec(const Vec& x, Vec& y) const {
@@ -45,13 +32,15 @@ void SymCsrMatrix::matvec(const Vec& x, Vec& y) const {
 
 void SymCsrMatrix::matvec(const Vec& x, Vec& y,
                           const ParallelConfig& par) const {
-  SP_ASSERT(x.size() == n_);
-  y.resize(n_);  // no zero-fill: every y[i] is overwritten below
-  parallel_for(par, 0, n_, [&](std::size_t lo, std::size_t hi) {
+  const std::size_t n = storage_.num_rows();
+  SP_ASSERT(x.size() == n);
+  y.resize(n);  // no zero-fill: every y[i] is overwritten below
+  parallel_for(par, 0, n, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       double s = 0.0;
-      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
-        s += values_[k] * x[col_idx_[k]];
+      for (std::size_t k = storage_.offsets[i]; k < storage_.offsets[i + 1];
+           ++k)
+        s += storage_.values[k] * x[storage_.cols[k]];
       y[i] = s;
     }
   });
@@ -64,9 +53,9 @@ Vec SymCsrMatrix::matvec(const Vec& x) const {
 }
 
 double SymCsrMatrix::at(std::size_t i, std::size_t j) const {
-  SP_ASSERT(i < n_ && j < n_);
-  for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
-    if (col_idx_[k] == j) return values_[k];
+  SP_ASSERT(i < size() && j < size());
+  for (std::size_t k = storage_.offsets[i]; k < storage_.offsets[i + 1]; ++k)
+    if (storage_.cols[k] == j) return storage_.values[k];
   return 0.0;
 }
 
@@ -74,10 +63,11 @@ double SymCsrMatrix::trace() const {
   // Walk each row once for its diagonal entry (columns are sorted, so the
   // scan can stop early) instead of paying at(i, i)'s full-row rescan.
   double t = 0.0;
-  for (std::size_t i = 0; i < n_; ++i) {
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      if (col_idx_[k] < i) continue;
-      if (col_idx_[k] == i) t += values_[k];
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (std::size_t k = storage_.offsets[i]; k < storage_.offsets[i + 1];
+         ++k) {
+      if (storage_.cols[k] < i) continue;
+      if (storage_.cols[k] == i) t += storage_.values[k];
       break;
     }
   }
@@ -86,14 +76,15 @@ double SymCsrMatrix::trace() const {
 
 double SymCsrMatrix::gershgorin_upper() const {
   double bound = 0.0;
-  for (std::size_t i = 0; i < n_; ++i) {
+  for (std::size_t i = 0; i < size(); ++i) {
     double radius = 0.0;
     double diag = 0.0;
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      if (col_idx_[k] == i)
-        diag = values_[k];
+    for (std::size_t k = storage_.offsets[i]; k < storage_.offsets[i + 1];
+         ++k) {
+      if (storage_.cols[k] == i)
+        diag = storage_.values[k];
       else
-        radius += std::fabs(values_[k]);
+        radius += std::fabs(storage_.values[k]);
     }
     bound = std::max(bound, diag + radius);
   }
@@ -101,10 +92,10 @@ double SymCsrMatrix::gershgorin_upper() const {
 }
 
 DenseMatrix SymCsrMatrix::to_dense() const {
-  DenseMatrix m(n_, n_);
-  for (std::size_t i = 0; i < n_; ++i)
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
-      m.at(i, col_idx_[k]) = values_[k];
+  DenseMatrix m(size(), size());
+  for (std::size_t i = 0; i < size(); ++i)
+    for (std::size_t k = storage_.offsets[i]; k < storage_.offsets[i + 1]; ++k)
+      m.at(i, storage_.cols[k]) = storage_.values[k];
   return m;
 }
 

@@ -2,12 +2,16 @@
 //
 // Graph Laplacians of clique-expanded netlists are symmetric with a few
 // dozen nonzeros per row; CSR with both triangles stored gives the fastest
-// matvec, which dominates the Lanczos runtime.
+// matvec, which dominates the Lanczos runtime. The storage itself is the
+// shared linalg::CsrStorage data plane (see linalg/csr.h): the adjacency in
+// graph::Graph and the Laplacian here are the same offsets/cols/values
+// layout, so converting between them is an O(nnz) copy, never a rebuild.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "linalg/csr.h"
 #include "linalg/dense.h"
 #include "util/parallel.h"
 
@@ -22,20 +26,29 @@ struct Triplet {
 
 /// Symmetric sparse matrix, CSR storage of the *full* pattern.
 ///
-/// Built from triplets; duplicates are summed. Symmetry is by construction:
-/// each off-diagonal triplet (i, j, v) inserts both (i,j) and (j,i).
+/// Built from triplets (duplicates summed in insertion order) or adopted
+/// directly from a CsrStorage assembled elsewhere. Symmetry is by
+/// construction: each off-diagonal triplet (i, j, v) inserts both (i,j)
+/// and (j,i); adopted storage must already hold both triangles.
 class SymCsrMatrix {
  public:
   SymCsrMatrix() = default;
 
   /// Builds an n-by-n symmetric matrix. Off-diagonal triplets are mirrored;
-  /// diagonal triplets inserted once. Duplicate coordinates are summed.
+  /// diagonal triplets inserted once. Duplicate coordinates are summed in
+  /// insertion order (the assembler's stable-merge contract).
   SymCsrMatrix(std::size_t n, const std::vector<Triplet>& triplets);
 
-  std::size_t size() const { return n_; }
+  /// Adopts an already-assembled CSR structure without copying. The caller
+  /// guarantees the pattern is symmetric (both triangles stored) with
+  /// sorted columns per row — what CsrAssembler produces for mirrored
+  /// entries, and what build_laplacian / build_clique_laplacian emit.
+  explicit SymCsrMatrix(CsrStorage storage) : storage_(std::move(storage)) {}
+
+  std::size_t size() const { return storage_.num_rows(); }
 
   /// Number of stored nonzeros (both triangles).
-  std::size_t nnz() const { return values_.size(); }
+  std::size_t nnz() const { return storage_.nnz(); }
 
   /// y = A x. The ParallelConfig overload splits the rows into fixed
   /// blocks; every y[i] is an independent per-row sum, so the result is
@@ -58,16 +71,16 @@ class SymCsrMatrix {
   DenseMatrix to_dense() const;
 
   /// Row access for algorithms that iterate neighbours.
-  std::size_t row_begin(std::size_t i) const { return row_ptr_[i]; }
-  std::size_t row_end(std::size_t i) const { return row_ptr_[i + 1]; }
-  std::size_t col_index(std::size_t k) const { return col_idx_[k]; }
-  double value(std::size_t k) const { return values_[k]; }
+  std::size_t row_begin(std::size_t i) const { return storage_.offsets[i]; }
+  std::size_t row_end(std::size_t i) const { return storage_.offsets[i + 1]; }
+  std::size_t col_index(std::size_t k) const { return storage_.cols[k]; }
+  double value(std::size_t k) const { return storage_.values[k]; }
+
+  /// The underlying shared-layout storage (read-only).
+  const CsrStorage& csr() const { return storage_; }
 
  private:
-  std::size_t n_ = 0;
-  std::vector<std::size_t> row_ptr_;
-  std::vector<std::size_t> col_idx_;
-  std::vector<double> values_;
+  CsrStorage storage_;
 };
 
 }  // namespace specpart::linalg

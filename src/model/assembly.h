@@ -1,0 +1,105 @@
+// Fused hypergraph -> matrix assembly: the zero-copy front door of the
+// sparse data plane.
+//
+// The seed pipeline materialized the same sparsity structure four times per
+// request (pin pairs -> Edge list -> Graph CSR -> Triplet list -> Laplacian
+// CSR). The builders here stream clique pairs straight into the shared
+// counting-sort assembler (linalg/csr.h) and finish directly into the
+// structure an algorithm actually wants:
+//
+//  * build_clique_laplacian: pins -> Laplacian CSR in one assembly, degrees
+//    accumulated in-pass and spliced in as sorted diagonal entries. No
+//    Graph, no triplets, no comparison sorts, one cols/values
+//    materialization.
+//  * expand_clique_graph: pins -> adjacency CSR (the Graph) the same way.
+//  * CliqueModel: lazy holder used by the drivers — builds the Laplacian
+//    or the Graph on first request and derives the other in O(nnz) if it
+//    is ever needed too (Q = D - A, so A = -offdiag(Q) exactly). A cached
+//    embedding means neither is ever built.
+//
+// Expansion cost is known exactly up front (sum p(p-1)/2 over eligible
+// nets), which buys two things: the entry buffer is materialized once at
+// its final size, and a `max_clique_pairs` budget can reject an oversized
+// model with a structured `model_too_large` error *before* allocating
+// gigabytes — an admission decision, not an OOM.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+#include "linalg/sparse.h"
+#include "model/clique_models.h"
+#include "util/budget.h"
+#include "util/status.h"
+
+namespace specpart::model {
+
+/// Options shared by the fused model builders.
+struct ModelBuildOptions {
+  /// Nets larger than this are skipped when > 0 (0 keeps everything).
+  std::size_t max_net_size = 0;
+  /// Clique-pair admission budget: when > 0 and the exact pair count
+  /// sum p(p-1)/2 of the eligible nets exceeds it, the build throws Error
+  /// with a `model_too_large` message (also recorded as a Diagnostics
+  /// warning) before any entry buffer is sized. 0 = unlimited.
+  std::size_t max_clique_pairs = 0;
+  /// Row-block parallelism for the assembly's merge passes (bit-identical
+  /// output for any thread count).
+  ParallelConfig parallel;
+};
+
+/// Exact number of clique pairs expansion would emit: sum p(p-1)/2 over
+/// nets with >= 2 pins (and <= max_net_size when that is > 0).
+std::size_t clique_pair_count(const graph::Hypergraph& h,
+                              std::size_t max_net_size = 0);
+
+/// Fused pins -> Laplacian build (see file comment). Throws Error with a
+/// `model_too_large` message when opts.max_clique_pairs is exceeded.
+linalg::SymCsrMatrix build_clique_laplacian(const graph::Hypergraph& h,
+                                            NetModel m,
+                                            const ModelBuildOptions& opts = {},
+                                            Diagnostics* diag = nullptr);
+
+/// Assembler-backed clique expansion: same result as clique_expand, plus
+/// the pair-count admission guard and deterministic parallel merge.
+graph::Graph expand_clique_graph(const graph::Hypergraph& h, NetModel m,
+                                 const ModelBuildOptions& opts = {},
+                                 Diagnostics* diag = nullptr);
+
+/// Lazy clique model over one hypergraph + net model.
+///
+/// The drivers hand this to the embedding provider instead of an expanded
+/// Graph; whichever representation is requested first is built fused from
+/// the pins (under a "model" diagnostics stage), and the other — if ever
+/// needed — is derived from it in O(nnz). A cache hit requests neither, so
+/// it skips clique expansion entirely.
+class CliqueModel {
+ public:
+  CliqueModel(const graph::Hypergraph& h, NetModel m,
+              ModelBuildOptions opts = {});
+
+  const graph::Hypergraph& hypergraph() const { return *hypergraph_; }
+  NetModel net_model() const { return model_; }
+  const ModelBuildOptions& build_options() const { return opts_; }
+
+  /// The clique-model Laplacian; built fused on first call.
+  const linalg::SymCsrMatrix& laplacian(Diagnostics* diag = nullptr) const;
+
+  /// The clique-model graph; derived from the Laplacian when that already
+  /// exists, otherwise expanded fused on first call.
+  const graph::Graph& graph(Diagnostics* diag = nullptr) const;
+
+  bool laplacian_built() const { return laplacian_.has_value(); }
+  bool graph_built() const { return graph_.has_value(); }
+
+ private:
+  const graph::Hypergraph* hypergraph_;
+  NetModel model_;
+  ModelBuildOptions opts_;
+  mutable std::optional<graph::Graph> graph_;
+  mutable std::optional<linalg::SymCsrMatrix> laplacian_;
+};
+
+}  // namespace specpart::model

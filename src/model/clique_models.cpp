@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "model/assembly.h"
 #include "util/error.h"
 
 namespace specpart::model {
@@ -37,17 +38,11 @@ double clique_edge_cost(NetModel m, std::size_t size) {
 
 graph::Graph clique_expand(const graph::Hypergraph& h, NetModel m,
                            std::size_t max_net_size) {
-  std::vector<graph::Edge> edges;
-  for (graph::NetId e = 0; e < h.num_nets(); ++e) {
-    const auto& pins = h.net(e);
-    if (pins.size() < 2) continue;
-    if (max_net_size > 0 && pins.size() > max_net_size) continue;
-    const double cost = h.net_weight(e) * clique_edge_cost(m, pins.size());
-    for (std::size_t i = 0; i < pins.size(); ++i)
-      for (std::size_t j = i + 1; j < pins.size(); ++j)
-        edges.push_back({pins[i], pins[j], cost});
-  }
-  return graph::Graph(h.num_nodes(), edges);
+  // Streams pin pairs straight into the shared assembly workspace — no
+  // intermediate Edge list (see model/assembly.h).
+  ModelBuildOptions opts;
+  opts.max_net_size = max_net_size;
+  return expand_clique_graph(h, m, opts);
 }
 
 }  // namespace specpart::model

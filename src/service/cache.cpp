@@ -74,6 +74,58 @@ Fingerprint EmbeddingCache::eigen_key(const graph::Graph& g,
   return h.digest();
 }
 
+Fingerprint EmbeddingCache::netlist_key(const graph::Hypergraph& h,
+                                        model::NetModel net_model,
+                                        std::size_t max_net_size,
+                                        const spectral::EmbeddingOptions& opts,
+                                        std::size_t solve_count) {
+  Hasher hs;
+  hs.mix_string("specpart.eigenbasis.v2");
+  // Model content: pin lists are canonical (the Hypergraph ctor sorts and
+  // dedups them), so hashing them verbatim plus the net-model token and
+  // the size filter pins down the clique Laplacian without building it.
+  hs.mix_string(core::net_model_token(net_model));
+  hs.mix_size(max_net_size);
+  hs.mix_size(h.num_nodes());
+  hs.mix_size(h.num_nets());
+  for (graph::NetId e = 0; e < h.num_nets(); ++e) {
+    const auto& pins = h.net(e);
+    hs.mix_size(pins.size());
+    hs.mix_span(pins);
+    hs.mix_double(h.net_weight(e));
+  }
+  // Solver options: anything that can change the returned bits.
+  hs.mix_bool(opts.skip_trivial);
+  hs.mix_size(opts.dense_threshold);
+  hs.mix_size(opts.dense_fallback_limit);
+  hs.mix_double(opts.tolerance);
+  hs.mix_u64(opts.seed);
+  hs.mix_size(solve_count);
+  return hs.digest();
+}
+
+spectral::EigenBasis EmbeddingCache::compute(
+    const model::CliqueModel& cm, const spectral::EmbeddingOptions& opts,
+    Diagnostics* diag, ComputeBudget* budget) {
+  if (opts_.max_bytes == 0)  // caching disabled: raw pipeline behavior
+    return spectral::compute_eigenbasis(cm.laplacian(diag), opts, diag,
+                                        budget);
+
+  const std::size_t solve_count = quantized_count(opts.count);
+  const Fingerprint key =
+      netlist_key(cm.hypergraph(), cm.net_model(),
+                  cm.build_options().max_net_size, opts, solve_count);
+  if (spectral::EigenBasis hit; lookup(key, opts.count, diag, hit))
+    return hit;  // the model was never expanded
+
+  spectral::EmbeddingOptions solve_opts = opts;
+  solve_opts.count = solve_count;
+  spectral::EigenBasis full =
+      spectral::compute_eigenbasis(cm.laplacian(diag), solve_opts, diag,
+                                   budget);
+  return insert(key, std::move(full), opts.count, diag);
+}
+
 spectral::EigenBasis EmbeddingCache::compute(
     const graph::Graph& g, const spectral::EmbeddingOptions& opts,
     Diagnostics* diag, ComputeBudget* budget) {
@@ -82,23 +134,8 @@ spectral::EigenBasis EmbeddingCache::compute(
 
   const std::size_t solve_count = quantized_count(opts.count);
   const Fingerprint key = eigen_key(g, opts, solve_count);
-
-  {
-    Timer lookup_timer;
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.lookups;
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      ++stats_.hits;
-      if (opts.count < it->second.basis.dimension()) ++stats_.prefix_hits;
-      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-      spectral::EigenBasis sliced = slice_basis(it->second.basis, opts.count);
-      if (diag != nullptr)
-        diag->record_stage("embedding_cache_hit", lookup_timer.seconds());
-      return sliced;
-    }
-    ++stats_.misses;
-  }
+  if (spectral::EigenBasis hit; lookup(key, opts.count, diag, hit))
+    return hit;
 
   // Miss: solve at the quantized dimension outside the lock (concurrent
   // misses on the same key both solve; the solver is deterministic, so
@@ -107,10 +144,35 @@ spectral::EigenBasis EmbeddingCache::compute(
   solve_opts.count = solve_count;
   spectral::EigenBasis full =
       spectral::compute_eigenbasis(g, solve_opts, diag, budget);
+  return insert(key, std::move(full), opts.count, diag);
+}
 
+bool EmbeddingCache::lookup(const Fingerprint& key, std::size_t count,
+                            Diagnostics* diag, spectral::EigenBasis& out) {
+  Timer lookup_timer;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  if (count < it->second.basis.dimension()) ++stats_.prefix_hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  out = slice_basis(it->second.basis, count);
+  if (diag != nullptr)
+    diag->record_stage("embedding_cache_hit", lookup_timer.seconds());
+  return true;
+}
+
+spectral::EigenBasis EmbeddingCache::insert(const Fingerprint& key,
+                                            spectral::EigenBasis full,
+                                            std::size_t count,
+                                            Diagnostics* diag) {
   const bool clean =
       full.converged && !full.truncated && !full.budget_exhausted;
-  spectral::EigenBasis sliced = slice_basis(full, opts.count);
+  spectral::EigenBasis sliced = slice_basis(full, count);
 
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t bytes = basis_bytes(full);
@@ -151,9 +213,10 @@ void EmbeddingCache::evict_to_budget_locked() {
 }
 
 core::EmbeddingProvider EmbeddingCache::provider() {
-  return [this](const graph::Graph& g, const spectral::EmbeddingOptions& opts,
-                Diagnostics* diag, ComputeBudget* budget) {
-    return compute(g, opts, diag, budget);
+  return [this](const model::CliqueModel& cm,
+                const spectral::EmbeddingOptions& opts, Diagnostics* diag,
+                ComputeBudget* budget) {
+    return compute(cm, opts, diag, budget);
   };
 }
 

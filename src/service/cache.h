@@ -76,12 +76,22 @@ class EmbeddingCache {
  public:
   explicit EmbeddingCache(EmbeddingCacheOptions opts = {});
 
-  /// The cache-aware eigensolve: exact drop-in for
-  /// spectral::compute_eigenbasis (same signature as core::
-  /// EmbeddingProvider). Hits record an "embedding_cache_hit" stage in
-  /// `diag` and skip the eigensolve entirely; misses solve (at the
-  /// quantized dimension) and insert. Safe to call from any number of
-  /// service workers concurrently.
+  /// The cache-aware eigensolve over a lazy clique model (the
+  /// core::EmbeddingProvider shape). The key is computed from the
+  /// *hypergraph* plus the net-model token — not the expanded clique
+  /// graph — so a hit returns the sliced basis without ever touching the
+  /// model: no clique expansion, no Laplacian, no eigensolve. Hits record
+  /// an "embedding_cache_hit" stage in `diag`; misses build the fused
+  /// Laplacian, solve at the quantized dimension and insert. Safe to call
+  /// from any number of service workers concurrently.
+  spectral::EigenBasis compute(const model::CliqueModel& cm,
+                               const spectral::EmbeddingOptions& opts,
+                               Diagnostics* diag, ComputeBudget* budget);
+
+  /// Graph-keyed variant (the pre-fused-data-plane entry point, keyed on
+  /// the expanded clique graph's edge list). Kept for callers that hold a
+  /// plain Graph; uses a distinct key domain ("…v1") from the hypergraph
+  /// keys ("…v2"), so the two never collide.
   spectral::EigenBasis compute(const graph::Graph& g,
                                const spectral::EmbeddingOptions& opts,
                                Diagnostics* diag, ComputeBudget* budget);
@@ -105,6 +115,20 @@ class EmbeddingCache {
                                const spectral::EmbeddingOptions& opts,
                                std::size_t solve_count);
 
+  /// Hypergraph-content key: fingerprint of the pin lists + net weights +
+  /// net-model token + max_net_size, plus the same solver options as
+  /// eigen_key. Computable without expanding the model — the point of the
+  /// fused data plane: a hit never pays for clique expansion. Two requests
+  /// get the same key iff eigen_key over their expanded graphs would agree
+  /// (up to hypergraphs that differ only in <2-pin nets, which expand
+  /// identically but key differently — a spurious miss, never a false
+  /// hit). Exposed for tests.
+  static Fingerprint netlist_key(const graph::Hypergraph& h,
+                                 model::NetModel net_model,
+                                 std::size_t max_net_size,
+                                 const spectral::EmbeddingOptions& opts,
+                                 std::size_t solve_count);
+
   /// dim_quantum-rounded solve dimension for a requested count.
   std::size_t quantized_count(std::size_t count) const;
 
@@ -118,6 +142,17 @@ class EmbeddingCache {
     /// Position in lru_ (front = most recently used).
     std::list<Fingerprint>::iterator lru_pos;
   };
+
+  /// Hit path: under the lock, finds `key`, bumps its LRU position and
+  /// writes the basis sliced to `count` into `out`. False on miss.
+  bool lookup(const Fingerprint& key, std::size_t count, Diagnostics* diag,
+              spectral::EigenBasis& out);
+
+  /// Miss path: inserts `full` under `key` when it is clean and fits the
+  /// budget, and returns it sliced to `count`.
+  spectral::EigenBasis insert(const Fingerprint& key,
+                              spectral::EigenBasis full, std::size_t count,
+                              Diagnostics* diag);
 
   void evict_to_budget_locked();
 

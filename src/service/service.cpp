@@ -119,6 +119,9 @@ PartitionResponse PartitionService::execute_internal(
     static_cast<core::PipelineConfig&>(m) = req.pipeline;
     // Kernel threading is a server decision (see service.h).
     m.parallel = opts_.parallel;
+    // Model admission is too: the server's cap overrides whatever the
+    // request carried.
+    if (opts_.max_clique_pairs > 0) m.max_clique_pairs = opts_.max_clique_pairs;
     m.diagnostics = &diag;
     if (opts_.deadline_seconds > 0.0) {
       budget = ComputeBudget::with_deadline(opts_.deadline_seconds);

@@ -51,6 +51,12 @@ struct ServiceOptions {
   /// Per-request compute budget in seconds (0 = unlimited). Budget-limited
   /// responses are best-so-far and exempt from the determinism contract.
   double deadline_seconds = 0.0;
+  /// Server-side admission cap on clique-expansion size (exact pair count
+  /// sum p(p-1)/2; 0 = unlimited). An oversized request fails fast with a
+  /// structured `model_too_large` error response instead of attempting the
+  /// allocation — note a cache hit never expands the model, so a request
+  /// whose basis is cached still succeeds.
+  std::size_t max_clique_pairs = 0;
   /// Compute-kernel threading for request execution (server-level; the
   /// request's own ParallelConfig is ignored). Default 0 = auto:
   /// $SPECPART_THREADS or hardware concurrency.

@@ -31,16 +31,15 @@ linalg::LanczosResult run_attempt(const linalg::SymCsrMatrix& q,
   return result;
 }
 
-}  // namespace
-
-EigenBasis compute_eigenbasis(const graph::Graph& g,
-                              const EmbeddingOptions& opts,
-                              Diagnostics* diag, ComputeBudget* budget) {
-  StageTimerScope stage_timer(diag, kStage);
-  const std::size_t n = g.num_nodes();
+/// The solver core, shared by both public overloads (which differ only in
+/// how the Laplacian is obtained and both wrap this in the "eigensolve"
+/// stage timer).
+EigenBasis eigenbasis_of_laplacian(const linalg::SymCsrMatrix& q,
+                                   const EmbeddingOptions& opts,
+                                   Diagnostics* diag, ComputeBudget* budget) {
+  const std::size_t n = q.size();
   const std::size_t extra = opts.skip_trivial ? 1 : 0;
   const std::size_t want = std::min(n, opts.count + extra);
-  const linalg::SymCsrMatrix q = graph::build_laplacian(g);
 
   EigenBasis basis;
   basis.n = n;
@@ -166,6 +165,24 @@ EigenBasis compute_eigenbasis(const graph::Graph& g,
                                  "pair(s) available",
                                  keep, basis.requested));
   return basis;
+}
+
+}  // namespace
+
+EigenBasis compute_eigenbasis(const graph::Graph& g,
+                              const EmbeddingOptions& opts,
+                              Diagnostics* diag, ComputeBudget* budget) {
+  StageTimerScope stage_timer(diag, kStage);
+  // O(nnz) off the shared CSR adjacency — no triplet round-trip.
+  const linalg::SymCsrMatrix q = graph::build_laplacian(g);
+  return eigenbasis_of_laplacian(q, opts, diag, budget);
+}
+
+EigenBasis compute_eigenbasis(const linalg::SymCsrMatrix& laplacian,
+                              const EmbeddingOptions& opts,
+                              Diagnostics* diag, ComputeBudget* budget) {
+  StageTimerScope stage_timer(diag, kStage);
+  return eigenbasis_of_laplacian(laplacian, opts, diag, budget);
 }
 
 }  // namespace specpart::spectral

@@ -14,6 +14,7 @@
 
 #include "graph/graph.h"
 #include "linalg/dense.h"
+#include "linalg/sparse.h"
 #include "util/budget.h"
 #include "util/parallel.h"
 #include "util/status.h"
@@ -73,6 +74,15 @@ struct EigenBasis {
 /// basis built so far is returned with `budget_exhausted` set. The result
 /// always has >= 1 column for a non-empty graph.
 EigenBasis compute_eigenbasis(const graph::Graph& g,
+                              const EmbeddingOptions& opts,
+                              Diagnostics* diag = nullptr,
+                              ComputeBudget* budget = nullptr);
+
+/// Same solve on an already-built Laplacian — the entry point for the fused
+/// hypergraph -> Laplacian data plane (model::build_clique_laplacian), which
+/// never materializes a Graph. Produces bit-identical results to the Graph
+/// overload on the Laplacian build_laplacian(g) would yield.
+EigenBasis compute_eigenbasis(const linalg::SymCsrMatrix& laplacian,
                               const EmbeddingOptions& opts,
                               Diagnostics* diag = nullptr,
                               ComputeBudget* budget = nullptr);

@@ -1,0 +1,403 @@
+// Tests for the shared sparse data plane (linalg/csr.h, model/assembly.h):
+// the counting-sort assembler against a stable-sort triplet reference,
+// property tests on random hypergraphs with degenerate nets, bit-identity
+// of assembly and matvec across thread counts, the O(nnz) Graph <->
+// Laplacian conversions, and the model_too_large admission guard.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+#include "graph/laplacian.h"
+#include "linalg/csr.h"
+#include "linalg/sparse.h"
+#include "model/assembly.h"
+#include "model/clique_models.h"
+#include "util/error.h"
+#include "util/status.h"
+
+namespace specpart {
+namespace {
+
+using graph::Hypergraph;
+using graph::NodeId;
+using linalg::CsrAssembler;
+using linalg::CsrStorage;
+using linalg::SymCsrMatrix;
+using model::ModelBuildOptions;
+using model::NetModel;
+
+/// Reference Laplacian via the seed triplet path: expand nets to an edge
+/// list, stable-sort + merge (summing parallel contributions in input
+/// order, the data plane's merge contract), then splice diagonals from the
+/// same ascending-order degree sums. Exact by construction.
+CsrStorage reference_clique_laplacian(const Hypergraph& h, NetModel m,
+                                      std::size_t max_net_size = 0) {
+  struct Entry {
+    std::uint32_t row;
+    std::uint32_t col;
+    double value;
+  };
+  std::vector<Entry> entries;
+  for (graph::NetId e = 0; e < h.num_nets(); ++e) {
+    const auto& pins = h.net(e);
+    if (pins.size() < 2) continue;
+    if (max_net_size > 0 && pins.size() > max_net_size) continue;
+    const double cost =
+        h.net_weight(e) * model::clique_edge_cost(m, pins.size());
+    for (std::size_t i = 0; i < pins.size(); ++i)
+      for (std::size_t j = i + 1; j < pins.size(); ++j) {
+        entries.push_back({pins[i], pins[j], cost});
+        entries.push_back({pins[j], pins[i], cost});
+      }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.row != b.row ? a.row < b.row : a.col < b.col;
+                   });
+  const std::size_t n = h.num_nodes();
+  // Merge runs per row, accumulate the degree in ascending column order,
+  // and place the diagonal at its sorted slot.
+  CsrStorage q;
+  q.offsets.assign(n + 1, 0);
+  std::size_t i = 0;
+  for (std::size_t row = 0; row < n; ++row) {
+    std::vector<std::uint32_t> cols;
+    std::vector<double> vals;
+    double degree = 0.0;
+    while (i < entries.size() && entries[i].row == row) {
+      const std::uint32_t c = entries[i].col;
+      double sum = 0.0;
+      while (i < entries.size() && entries[i].row == row &&
+             entries[i].col == c) {
+        sum += entries[i].value;
+        ++i;
+      }
+      degree += sum;
+      cols.push_back(c);
+      vals.push_back(-sum);
+    }
+    const auto pos = std::lower_bound(cols.begin(), cols.end(),
+                                      static_cast<std::uint32_t>(row));
+    const std::size_t slot = static_cast<std::size_t>(pos - cols.begin());
+    cols.insert(cols.begin() + static_cast<std::ptrdiff_t>(slot),
+                static_cast<std::uint32_t>(row));
+    vals.insert(vals.begin() + static_cast<std::ptrdiff_t>(slot), degree);
+    q.offsets[row + 1] = q.offsets[row] + cols.size();
+    q.cols.insert(q.cols.end(), cols.begin(), cols.end());
+    q.values.insert(q.values.end(), vals.begin(), vals.end());
+  }
+  return q;
+}
+
+/// Random hypergraph with the degenerate shapes the data plane must
+/// handle: empty nets, 1-pin nets, duplicate pins (merged by the
+/// Hypergraph ctor), and repeated pin sets (parallel clique edges).
+Hypergraph random_hypergraph(std::uint64_t seed, std::size_t num_nodes,
+                             std::size_t num_nets) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> net_size(0, 9);
+  std::uniform_int_distribution<NodeId> pin(
+      0, static_cast<NodeId>(num_nodes - 1));
+  std::uniform_real_distribution<double> weight(0.25, 4.0);
+  std::vector<std::vector<NodeId>> nets;
+  std::vector<double> weights;
+  for (std::size_t e = 0; e < num_nets; ++e) {
+    std::vector<NodeId> pins(net_size(rng));
+    for (NodeId& p : pins) p = pin(rng);  // duplicates happen on purpose
+    if (!nets.empty() && rng() % 4 == 0) {
+      // Repeat an earlier net verbatim: parallel edges in the expansion.
+      nets.push_back(nets[rng() % nets.size()]);
+    } else {
+      nets.push_back(std::move(pins));
+    }
+    weights.push_back(weight(rng));
+  }
+  return Hypergraph(num_nodes, std::move(nets), std::move(weights));
+}
+
+void expect_same_storage(const CsrStorage& a, const CsrStorage& b) {
+  ASSERT_EQ(a.offsets, b.offsets);
+  ASSERT_EQ(a.cols, b.cols);
+  // Bit-level comparison: == on doubles would also pass for -0.0 vs 0.0.
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (std::size_t k = 0; k < a.values.size(); ++k)
+    EXPECT_EQ(0, std::memcmp(&a.values[k], &b.values[k], sizeof(double)))
+        << "value mismatch at slot " << k;
+}
+
+ParallelConfig threads_with_small_grain(std::size_t n) {
+  ParallelConfig par = ParallelConfig::with_threads(n);
+  par.grain = 16;  // force multiple row blocks even on small inputs
+  return par;
+}
+
+TEST(CsrAssembler, MergesDuplicatesInInsertionOrderWithSortedRows) {
+  CsrAssembler ws;
+  ws.begin(4);
+  ws.add_entry(2, 1, 1.0);
+  ws.add_entry(0, 3, 0.5);
+  ws.add_entry(2, 1, 2.0);  // duplicate: summed after the first
+  ws.add_entry(2, 0, 4.0);
+  ws.add_entry(0, 3, 0.25);
+  CsrStorage out;
+  ws.finish(out);
+  ASSERT_EQ(out.offsets, (std::vector<std::size_t>{0, 1, 1, 3, 3}));
+  ASSERT_EQ(out.cols, (std::vector<std::uint32_t>{3, 0, 1}));
+  EXPECT_EQ(out.values[0], 0.5 + 0.25);
+  EXPECT_EQ(out.values[1], 4.0);
+  EXPECT_EQ(out.values[2], 1.0 + 2.0);
+  // Row 1 and row 3 are empty; row 2's columns come out sorted.
+}
+
+TEST(CsrAssembler, WorkspaceReusableAcrossAssemblies) {
+  CsrAssembler ws;
+  for (std::size_t round = 0; round < 3; ++round) {
+    ws.begin(3);
+    ws.add_edge(0, 2, 1.5);
+    ws.add_edge(1, 2, 2.5);
+    CsrStorage out;
+    ws.finish(out);
+    ASSERT_EQ(out.nnz(), 4u);
+    EXPECT_EQ(out.cols, (std::vector<std::uint32_t>{2, 2, 0, 1}));
+  }
+}
+
+TEST(CsrAssembler, LaplacianEmitsZeroDiagonalForIsolatedRows) {
+  CsrAssembler ws;
+  ws.begin(3);
+  ws.add_edge(0, 2, 2.0);  // node 1 is isolated
+  CsrStorage q;
+  std::vector<double> degrees;
+  ws.finish_laplacian(q, &degrees);
+  ASSERT_EQ(q.offsets, (std::vector<std::size_t>{0, 2, 3, 5}));
+  EXPECT_EQ(q.cols, (std::vector<std::uint32_t>{0, 2, 1, 0, 2}));
+  EXPECT_EQ(q.values, (std::vector<double>{2.0, -2.0, 0.0, -2.0, 2.0}));
+  EXPECT_EQ(degrees, (std::vector<double>{2.0, 0.0, 2.0}));
+}
+
+TEST(Assembly, CliquePairCountIsExact) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Hypergraph h = random_hypergraph(seed, 40, 60);
+    for (std::size_t max_net : {std::size_t{0}, std::size_t{4}}) {
+      std::size_t expected = 0;
+      for (graph::NetId e = 0; e < h.num_nets(); ++e) {
+        const std::size_t p = h.net(e).size();
+        if (p < 2 || (max_net > 0 && p > max_net)) continue;
+        expected += p * (p - 1) / 2;
+      }
+      EXPECT_EQ(model::clique_pair_count(h, max_net), expected);
+    }
+  }
+}
+
+TEST(Assembly, FusedLaplacianMatchesSeedTripletPath) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Hypergraph h = random_hypergraph(seed, 60, 90);
+    for (const NetModel m : {NetModel::kStandard,
+                             NetModel::kPartitioningSpecific,
+                             NetModel::kFrankle}) {
+      const SymCsrMatrix fused = model::build_clique_laplacian(h, m);
+      const CsrStorage reference = reference_clique_laplacian(h, m);
+      expect_same_storage(fused.csr(), reference);
+    }
+  }
+}
+
+TEST(Assembly, FusedLaplacianHonorsMaxNetSize) {
+  const Hypergraph h = random_hypergraph(11, 50, 80);
+  ModelBuildOptions opts;
+  opts.max_net_size = 4;
+  const SymCsrMatrix fused = model::build_clique_laplacian(
+      h, NetModel::kPartitioningSpecific, opts);
+  const CsrStorage reference =
+      reference_clique_laplacian(h, NetModel::kPartitioningSpecific, 4);
+  expect_same_storage(fused.csr(), reference);
+}
+
+TEST(Assembly, AssemblyBitIdenticalAcrossThreadCounts) {
+  for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+    const Hypergraph h = random_hypergraph(seed, 120, 160);
+    ModelBuildOptions serial;
+    const SymCsrMatrix base = model::build_clique_laplacian(
+        h, NetModel::kPartitioningSpecific, serial);
+    for (const std::size_t threads : {2u, 8u}) {
+      ModelBuildOptions opts;
+      opts.parallel = threads_with_small_grain(threads);
+      const SymCsrMatrix threaded = model::build_clique_laplacian(
+          h, NetModel::kPartitioningSpecific, opts);
+      expect_same_storage(base.csr(), threaded.csr());
+    }
+  }
+}
+
+TEST(Assembly, MatvecBitIdenticalAcrossThreadCounts) {
+  const Hypergraph h = random_hypergraph(31, 150, 220);
+  const SymCsrMatrix q =
+      model::build_clique_laplacian(h, NetModel::kStandard);
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  linalg::Vec x(q.size());
+  for (double& v : x) v = u(rng);
+  linalg::Vec y1, y2, y8;
+  q.matvec(x, y1, threads_with_small_grain(1));
+  q.matvec(x, y2, threads_with_small_grain(2));
+  q.matvec(x, y8, threads_with_small_grain(8));
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(&y1[i], &y2[i], sizeof(double)));
+    EXPECT_EQ(0, std::memcmp(&y1[i], &y8[i], sizeof(double)));
+  }
+}
+
+TEST(Assembly, ExpandedGraphMatchesCliqueExpand) {
+  for (std::uint64_t seed = 41; seed <= 44; ++seed) {
+    const Hypergraph h = random_hypergraph(seed, 70, 110);
+    const graph::Graph a =
+        model::clique_expand(h, NetModel::kPartitioningSpecific);
+    const graph::Graph b = model::expand_clique_graph(
+        h, NetModel::kPartitioningSpecific);
+    ASSERT_EQ(a.num_nodes(), b.num_nodes());
+    ASSERT_EQ(a.num_edges(), b.num_edges());
+    for (std::size_t i = 0; i < a.num_edges(); ++i) {
+      EXPECT_EQ(a.edges()[i].u, b.edges()[i].u);
+      EXPECT_EQ(a.edges()[i].v, b.edges()[i].v);
+      EXPECT_EQ(a.edges()[i].weight, b.edges()[i].weight);
+    }
+  }
+}
+
+TEST(Assembly, GraphRoundTripsThroughLaplacian) {
+  const Hypergraph h = random_hypergraph(51, 80, 120);
+  const graph::Graph direct =
+      model::expand_clique_graph(h, NetModel::kFrankle);
+  const SymCsrMatrix q = model::build_clique_laplacian(h, NetModel::kFrankle);
+  const graph::Graph derived = graph::adjacency_graph(q);
+  expect_same_storage(direct.adjacency_csr(), derived.adjacency_csr());
+  ASSERT_EQ(direct.num_edges(), derived.num_edges());
+  EXPECT_EQ(direct.total_edge_weight(), derived.total_edge_weight());
+  for (NodeId v = 0; v < direct.num_nodes(); ++v)
+    EXPECT_EQ(0, std::memcmp(&direct.degrees()[v], &derived.degrees()[v],
+                             sizeof(double)));
+}
+
+TEST(Assembly, BuildLaplacianOfGraphMatchesFusedBuild) {
+  const Hypergraph h = random_hypergraph(61, 90, 130);
+  const graph::Graph g =
+      model::expand_clique_graph(h, NetModel::kPartitioningSpecific);
+  const SymCsrMatrix from_graph = graph::build_laplacian(g);
+  const SymCsrMatrix fused =
+      model::build_clique_laplacian(h, NetModel::kPartitioningSpecific);
+  expect_same_storage(from_graph.csr(), fused.csr());
+}
+
+TEST(Assembly, StoredDegreesMatchRowSums) {
+  const Hypergraph h = random_hypergraph(71, 64, 100);
+  const graph::Graph g = model::expand_clique_graph(h, NetModel::kStandard);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    double d = 0.0;
+    for (std::size_t s = g.adjacency_begin(v); s < g.adjacency_end(v); ++s)
+      d += g.neighbour(s).weight;
+    EXPECT_EQ(0, std::memcmp(&d, &g.degrees()[v], sizeof(double)));
+  }
+}
+
+TEST(Assembly, ModelTooLargeFailsFastWithDiagnostic) {
+  const Hypergraph h = random_hypergraph(81, 50, 80);
+  const std::size_t pairs = model::clique_pair_count(h);
+  ASSERT_GT(pairs, 1u);
+  ModelBuildOptions opts;
+  opts.max_clique_pairs = pairs - 1;
+  Diagnostics diag;
+  try {
+    model::build_clique_laplacian(h, NetModel::kStandard, opts, &diag);
+    FAIL() << "expected model_too_large";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("model_too_large"),
+              std::string::npos);
+  }
+  ASSERT_EQ(diag.events().size(), 1u);
+  EXPECT_EQ(diag.events()[0].stage, "model");
+  EXPECT_NE(diag.events()[0].message.find("model_too_large"),
+            std::string::npos);
+  // A budget at exactly the pair count admits the build.
+  opts.max_clique_pairs = pairs;
+  EXPECT_NO_THROW(model::build_clique_laplacian(h, NetModel::kStandard, opts));
+}
+
+TEST(Assembly, CliqueModelBuildsLazilyAndDerivesTheOther) {
+  const Hypergraph h = random_hypergraph(91, 40, 60);
+  {
+    model::CliqueModel cm(h, NetModel::kPartitioningSpecific);
+    EXPECT_FALSE(cm.laplacian_built());
+    EXPECT_FALSE(cm.graph_built());
+    const SymCsrMatrix& q = cm.laplacian();
+    EXPECT_TRUE(cm.laplacian_built());
+    EXPECT_FALSE(cm.graph_built());
+    // Deriving the graph afterwards matches a direct expansion exactly.
+    const graph::Graph& g = cm.graph();
+    EXPECT_TRUE(cm.graph_built());
+    const graph::Graph direct =
+        model::expand_clique_graph(h, NetModel::kPartitioningSpecific);
+    expect_same_storage(g.adjacency_csr(), direct.adjacency_csr());
+    // And the Laplacian reference stays valid and correct.
+    expect_same_storage(
+        q.csr(),
+        model::build_clique_laplacian(h, NetModel::kPartitioningSpecific)
+            .csr());
+  }
+  {
+    model::CliqueModel cm(h, NetModel::kPartitioningSpecific);
+    const graph::Graph& g = cm.graph();  // graph first this time
+    EXPECT_TRUE(cm.graph_built());
+    EXPECT_FALSE(cm.laplacian_built());
+    expect_same_storage(cm.laplacian().csr(),
+                        graph::build_laplacian(g).csr());
+  }
+}
+
+TEST(Assembly, InducedSubgraphMatchesSeedSemantics) {
+  const Hypergraph h = random_hypergraph(101, 60, 90);
+  const graph::Graph g = model::expand_clique_graph(h, NetModel::kStandard);
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < g.num_nodes(); v += 2) nodes.push_back(v);
+  const graph::Graph sub = g.induced_subgraph(nodes);
+  ASSERT_EQ(sub.num_nodes(), nodes.size());
+  // Every surviving edge keeps its weight; endpoints remap to positions.
+  std::size_t expected_edges = 0;
+  for (const graph::Edge& e : g.edges())
+    if (e.u % 2 == 0 && e.v % 2 == 0) ++expected_edges;
+  EXPECT_EQ(sub.num_edges(), expected_edges);
+  for (const graph::Edge& e : sub.edges()) {
+    const NodeId u = nodes[e.u];
+    const NodeId v = nodes[e.v];
+    bool found = false;
+    for (std::size_t s = g.adjacency_begin(u); s < g.adjacency_end(u); ++s) {
+      if (g.neighbour(s).node == v) {
+        EXPECT_EQ(g.neighbour(s).weight, e.weight);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Assembly, TripletConstructorMatchesAssembler) {
+  // The SymCsrMatrix triplet ctor now routes through the assembler; its
+  // stable merge must sum duplicates in insertion order.
+  std::vector<linalg::Triplet> t = {
+      {0, 1, 0.1}, {1, 2, 0.7}, {0, 1, 0.2}, {2, 2, 5.0}, {0, 0, 1.0}};
+  const SymCsrMatrix m(3, t);
+  EXPECT_EQ(m.at(0, 1), 0.1 + 0.2);
+  EXPECT_EQ(m.at(1, 0), 0.1 + 0.2);
+  EXPECT_EQ(m.at(2, 2), 5.0);
+  EXPECT_EQ(m.at(0, 0), 1.0);
+  EXPECT_EQ(m.nnz(), 6u);
+}
+
+}  // namespace
+}  // namespace specpart

@@ -211,7 +211,9 @@ TEST(Reduction, TruncatedApproximationErrorShrinksWithD) {
                                  (static_cast<double>(n) * h_fixed - f));
     EXPECT_LE(err, prev_err + 1e-7) << "d=" << d;
     prev_err = err;
-    if (d == 20) EXPECT_NEAR(err, 0.0, 1e-7);
+    if (d == 20) {
+      EXPECT_NEAR(err, 0.0, 1e-7);
+    }
   }
 }
 

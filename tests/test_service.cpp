@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/generator.h"
+#include "model/assembly.h"
 #include "model/clique_models.h"
 #include "service/cache.h"
 #include "service/metrics.h"
@@ -218,6 +219,94 @@ TEST(Cache, DisabledCacheNeverStoresAndSkipsQuantization) {
   // Byte-identical to the raw pipeline when disabled.
   const spectral::EigenBasis raw = spectral::compute_eigenbasis(g, e);
   expect_same_basis(b, raw);
+}
+
+TEST(Cache, NetlistKeyAgreesWithGraphKeyOnHitMissBehavior) {
+  // The re-keyed cache (netlist_key over the hypergraph) must make the
+  // same hit/miss decisions the legacy graph key made: keys agree iff the
+  // expanded clique graphs + solver options agree.
+  spectral::EmbeddingOptions e;
+  e.count = 8;
+  const auto graph_key = [&](const graph::Hypergraph& h,
+                             const spectral::EmbeddingOptions& opts) {
+    return EmbeddingCache::eigen_key(
+        model::clique_expand(h, model::NetModel::kPartitioningSpecific), opts,
+        16);
+  };
+  const auto hgr_key = [&](const graph::Hypergraph& h,
+                           const spectral::EmbeddingOptions& opts) {
+    return EmbeddingCache::netlist_key(
+        h, model::NetModel::kPartitioningSpecific, 0, opts, 16);
+  };
+
+  const graph::Hypergraph h1 = small_netlist(7);
+  const graph::Hypergraph h1_again = small_netlist(7);
+  const graph::Hypergraph h2 = small_netlist(8);
+
+  // Identical netlist: both schemes hit.
+  EXPECT_EQ(hgr_key(h1, e), hgr_key(h1_again, e));
+  EXPECT_EQ(graph_key(h1, e), graph_key(h1_again, e));
+
+  // Different netlist: both schemes miss.
+  EXPECT_NE(hgr_key(h1, e), hgr_key(h2, e));
+  EXPECT_NE(graph_key(h1, e), graph_key(h2, e));
+
+  // Solver-option changes invalidate both the same way.
+  spectral::EmbeddingOptions seeded = e;
+  seeded.seed ^= 0x5555;
+  EXPECT_NE(hgr_key(h1, e), hgr_key(h1, seeded));
+  EXPECT_NE(graph_key(h1, e), graph_key(h1, seeded));
+
+  // Net-model changes miss under the new key without expanding anything.
+  EXPECT_NE(hgr_key(h1, e),
+            EmbeddingCache::netlist_key(h1, model::NetModel::kFrankle, 0, e,
+                                        16));
+
+  // The two schemes use disjoint key domains: a request can never hit an
+  // entry inserted under the other scheme.
+  EXPECT_NE(hgr_key(h1, e), graph_key(h1, e));
+}
+
+TEST(Cache, NetlistHitSkipsCliqueExpansionEntirely) {
+  const graph::Hypergraph h = small_netlist();
+  spectral::EmbeddingOptions e;
+  e.count = 8;
+  EmbeddingCache cache;
+
+  model::CliqueModel cold_model(h, model::NetModel::kPartitioningSpecific);
+  Diagnostics cold;
+  const spectral::EigenBasis b1 =
+      cache.compute(cold_model, e, &cold, nullptr);
+  EXPECT_TRUE(has_stage(cold, "model"));
+  EXPECT_TRUE(has_stage(cold, "eigensolve"));
+  EXPECT_TRUE(cold_model.laplacian_built());
+
+  model::CliqueModel warm_model(h, model::NetModel::kPartitioningSpecific);
+  Diagnostics warm;
+  const spectral::EigenBasis b2 =
+      cache.compute(warm_model, e, &warm, nullptr);
+  EXPECT_TRUE(has_stage(warm, "embedding_cache_hit"));
+  EXPECT_FALSE(has_stage(warm, "eigensolve"));
+  EXPECT_FALSE(has_stage(warm, "model"));
+  // The hit never touched the model: no clique expansion, no Laplacian.
+  EXPECT_FALSE(warm_model.laplacian_built());
+  EXPECT_FALSE(warm_model.graph_built());
+
+  expect_same_basis(b1, b2);
+  const EmbeddingCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(Service, OversizedModelYieldsStructuredErrorNotOom) {
+  ServiceOptions opts;
+  opts.max_clique_pairs = 3;  // far below any real request
+  PartitionService svc(opts);
+  const PartitionResponse resp = svc.execute(make_request());
+  EXPECT_EQ(resp.status, "error");
+  EXPECT_NE(resp.error.find("model_too_large"), std::string::npos);
+  EXPECT_TRUE(resp.assignment.empty());
+  EXPECT_EQ(svc.snapshot().responses_error, 1u);
 }
 
 TEST(Service, RepeatedRequestIsByteIdenticalAndHitsCache) {
