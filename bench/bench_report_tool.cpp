@@ -20,6 +20,8 @@
 #include "core/reduction.h"
 #include "graph/generator.h"
 #include "graph/laplacian.h"
+#include "linalg/block_lanczos.h"
+#include "linalg/dense.h"
 #include "linalg/lanczos.h"
 #include "model/assembly.h"
 #include "model/clique_models.h"
@@ -41,7 +43,22 @@ struct KernelResult {
   std::string instance;
   double serial_seconds = 0.0;
   double parallel_seconds = 0.0;
+  // Eigensolver rows also report algorithmic cost per converged pair,
+  // from the solver's own FLOP / bytes-moved counters (machine-independent,
+  // unlike the wall-clock columns).
+  bool has_counters = false;
+  std::uint64_t pairs = 0;
+  std::uint64_t flops_per_pair = 0;
+  std::uint64_t bytes_per_pair = 0;
 };
+
+void attach_counters(KernelResult& r, const linalg::LanczosResult& solve) {
+  const std::uint64_t pairs = std::max<std::uint64_t>(solve.num_converged, 1);
+  r.has_counters = true;
+  r.pairs = solve.num_converged;
+  r.flops_per_pair = solve.flops / pairs;
+  r.bytes_per_pair = solve.matrix_bytes_moved / pairs;
+}
 
 graph::Hypergraph make_netlist(std::size_t modules) {
   graph::GeneratorConfig cfg;
@@ -83,9 +100,16 @@ int main(int argc, char** argv) {
   cli.add_flag("scale", "1.0", "instance size factor");
   cli.add_flag("threads", "0",
                "parallel thread count (0 = min(8, 2 x hardware cores))");
+  cli.add_flag("smoke", "false",
+               "CI sanity mode: run only the eigensolver rows at reduced "
+               "size, then fail unless every counter field (converged "
+               "pairs, flops_per_pair, bytes_per_pair) is present and "
+               "nonzero in the written JSON");
   try {
     if (!cli.parse(argc, argv)) return 0;
-    const double scale = cli.get_double("scale");
+    const bool smoke = cli.get_bool("smoke");
+    const double scale =
+        smoke ? std::min(cli.get_double("scale"), 0.3) : cli.get_double("scale");
     const std::size_t cores =
         std::max<std::size_t>(1, std::thread::hardware_concurrency());
     std::size_t threads = static_cast<std::size_t>(cli.get_int("threads"));
@@ -99,7 +123,7 @@ int main(int argc, char** argv) {
     };
     std::vector<KernelResult> results;
 
-    {
+    if (!smoke) {
       const std::size_t n = scaled(5000);
       const graph::Hypergraph h = make_netlist(n);
       const core::VectorInstance inst = make_vectors(h, 10);
@@ -129,18 +153,37 @@ int main(int argc, char** argv) {
       const std::size_t n = scaled(2000);
       const linalg::SymCsrMatrix q = graph::build_laplacian(model::clique_expand(
           make_netlist(n), model::NetModel::kPartitioningSpecific));
+      const std::string inst = "n=" + std::to_string(n) + " d=10";
+
       linalg::LanczosOptions opts;
       opts.num_eigenpairs = 10;
-      KernelResult r{"lanczos", "n=" + std::to_string(n) + " d=10"};
+      KernelResult r{"lanczos", inst};
+      attach_counters(r, linalg::lanczos_smallest(q, opts));
       opts.parallel = serial;
       r.serial_seconds = time_median([&] { linalg::lanczos_smallest(q, opts); });
       opts.parallel = par;
       r.parallel_seconds =
           time_median([&] { linalg::lanczos_smallest(q, opts); });
       results.push_back(r);
+
+      // Same matrix, same 10 pairs, through the block-Krylov backend: the
+      // bytes_per_pair column against the row above is the headline number
+      // (one spmm sweep advances every direction, so the block path should
+      // stream the Laplacian >= 2x fewer times per converged pair).
+      linalg::BlockLanczosOptions bopts;
+      bopts.num_eigenpairs = 10;
+      KernelResult rb{"block_lanczos", inst};
+      attach_counters(rb, linalg::block_lanczos_smallest(q, bopts));
+      bopts.parallel = serial;
+      rb.serial_seconds =
+          time_median([&] { linalg::block_lanczos_smallest(q, bopts); });
+      bopts.parallel = par;
+      rb.parallel_seconds =
+          time_median([&] { linalg::block_lanczos_smallest(q, bopts); });
+      results.push_back(rb);
     }
 
-    {
+    if (!smoke) {
       const std::size_t n = scaled(20000);
       const linalg::SymCsrMatrix q = graph::build_laplacian(model::clique_expand(
           make_netlist(n), model::NetModel::kPartitioningSpecific));
@@ -155,9 +198,26 @@ int main(int argc, char** argv) {
         for (int i = 0; i < reps; ++i) q.matvec(x, y, par);
       });
       results.push_back(r);
+
+      // The fused sparse x dense-panel kernel the block solver runs on:
+      // one sweep advances a 10-wide panel, so compare against 10 spmv
+      // sweeps (same reps) for the per-column bandwidth amortization.
+      linalg::Panel px(q.size(), 10);
+      for (std::size_t row = 0; row < q.size(); ++row)
+        for (std::size_t c = 0; c < 10; ++c) px.at(row, c) = 1.0;
+      linalg::Panel py(q.size(), 10);
+      KernelResult rp{"spmm_x" + std::to_string(reps),
+                      "n=" + std::to_string(n) + " b=10"};
+      rp.serial_seconds = time_median([&] {
+        for (int i = 0; i < reps; ++i) q.spmm(px, py);
+      });
+      rp.parallel_seconds = time_median([&] {
+        for (int i = 0; i < reps; ++i) q.spmm(px, py, par);
+      });
+      results.push_back(rp);
     }
 
-    {
+    if (!smoke) {
       const std::size_t n = scaled(1500);
       const graph::Hypergraph h = make_netlist(n);
       const auto runs = core::melo_orderings(h, core::MeloOptions{});
@@ -173,7 +233,7 @@ int main(int argc, char** argv) {
       results.push_back(r);
     }
 
-    {
+    if (!smoke) {
       // Sparse data plane: cold hypergraph -> Laplacian build. The
       // "assembly" row reuses the serial/parallel columns for a different
       // comparison — serial_seconds is the seed repo's triplet path
@@ -209,7 +269,7 @@ int main(int argc, char** argv) {
       results.push_back(rt);
     }
 
-    {
+    if (!smoke) {
       // Service layer: a warm 24-request batch through the bounded queue,
       // 1 worker (serial reference) vs `threads` workers. Warm so it
       // measures the serving engine, not the one-off eigensolves.
@@ -247,7 +307,7 @@ int main(int argc, char** argv) {
     std::FILE* f = std::fopen(out.c_str(), "w");
     SP_CHECK_INPUT(f != nullptr, "cannot open --out file " + out);
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"specpart-bench-kernels-v1\",\n");
+    std::fprintf(f, "  \"schema\": \"specpart-bench-kernels-v2\",\n");
     std::fprintf(f, "  \"host\": {\"cores\": %zu, \"parallel_threads\": %zu},\n",
                  cores, threads);
     std::fprintf(f, "  \"scale\": %g,\n", scale);
@@ -260,18 +320,61 @@ int main(int argc, char** argv) {
       std::fprintf(f,
                    "    {\"kernel\": \"%s\", \"instance\": \"%s\", "
                    "\"serial_seconds\": %.6f, \"parallel_seconds\": %.6f, "
-                   "\"speedup\": %.3f}%s\n",
+                   "\"speedup\": %.3f",
                    r.name.c_str(), r.instance.c_str(), r.serial_seconds,
-                   r.parallel_seconds, speedup,
-                   i + 1 < results.size() ? "," : "");
-      std::printf("%-12s %-16s serial %8.1f ms   %zu threads %8.1f ms   "
-                  "speedup %.2fx\n",
+                   r.parallel_seconds, speedup);
+      if (r.has_counters)
+        std::fprintf(f,
+                     ", \"converged_pairs\": %llu, \"flops_per_pair\": %llu, "
+                     "\"bytes_per_pair\": %llu",
+                     static_cast<unsigned long long>(r.pairs),
+                     static_cast<unsigned long long>(r.flops_per_pair),
+                     static_cast<unsigned long long>(r.bytes_per_pair));
+      std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
+      std::printf("%-13s %-16s serial %8.1f ms   %zu threads %8.1f ms   "
+                  "speedup %.2fx",
                   r.name.c_str(), r.instance.c_str(), r.serial_seconds * 1e3,
                   threads, r.parallel_seconds * 1e3, speedup);
+      if (r.has_counters)
+        std::printf("   %llu pairs, %.2f MB/pair",
+                    static_cast<unsigned long long>(r.pairs),
+                    static_cast<double>(r.bytes_per_pair) / 1e6);
+      std::printf("\n");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("wrote %s (host: %zu core(s))\n", out.c_str(), cores);
+
+    if (smoke) {
+      // CI gate: the eigensolver rows must carry live counters. A zero
+      // here means the solver stopped reporting its algorithmic cost and
+      // the committed baseline would silently rot.
+      std::size_t counter_rows = 0;
+      for (const KernelResult& r : results) {
+        if (!r.has_counters) continue;
+        ++counter_rows;
+        if (r.pairs == 0 || r.flops_per_pair == 0 || r.bytes_per_pair == 0) {
+          std::fprintf(stderr,
+                       "bench_report_tool: --smoke: kernel %s has a zero "
+                       "counter (pairs=%llu flops_per_pair=%llu "
+                       "bytes_per_pair=%llu)\n",
+                       r.name.c_str(),
+                       static_cast<unsigned long long>(r.pairs),
+                       static_cast<unsigned long long>(r.flops_per_pair),
+                       static_cast<unsigned long long>(r.bytes_per_pair));
+          return 1;
+        }
+      }
+      if (counter_rows < 2) {
+        std::fprintf(stderr,
+                     "bench_report_tool: --smoke: expected counter fields on "
+                     "both eigensolver rows, found %zu row(s)\n",
+                     counter_rows);
+        return 1;
+      }
+      std::printf("smoke: counter fields present and nonzero on %zu rows\n",
+                  counter_rows);
+    }
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "bench_report_tool: %s\n", e.what());

@@ -46,6 +46,8 @@ int main(int argc, char** argv) {
   cli.add_flag("threads", "1",
                "compute-kernel threads (1 = serial reference, 0 = auto: "
                "$SPECPART_THREADS or hardware concurrency)");
+  cli.add_flag("solver", "scalar",
+               "eigensolver backend for melo: scalar | block");
   try {
     if (!cli.parse(argc, argv)) return 0;
     SP_CHECK_INPUT(cli.positionals().size() == 1,
@@ -85,6 +87,7 @@ int main(int argc, char** argv) {
       req.pipeline.num_eigenvectors =
           static_cast<std::size_t>(cli.get_int("d"));
       req.pipeline.num_starts = 3;
+      req.pipeline.solver.backend = core::parse_solver_backend(cli.get("solver"));
 
       const service::PartitionResponse resp = svc.execute(req);
       std::printf("%s\n", service::response_to_json(resp).c_str());
@@ -106,6 +109,7 @@ int main(int argc, char** argv) {
       core::MeloOptions m;
       m.num_eigenvectors = static_cast<std::size_t>(cli.get_int("d"));
       m.num_starts = 3;
+      m.solver.backend = core::parse_solver_backend(cli.get("solver"));
       m.diagnostics = &diag;
       m.parallel = parallel;
       if (deadline > 0.0) {

@@ -47,9 +47,11 @@ std::string response_wire(const service::PartitionResponse& resp) {
 }
 
 /// Deterministic mixed workload: `count` requests over a small pool of
-/// synthetic netlists with varied pipeline settings.
-std::vector<service::PartitionRequest> make_workload(std::size_t count,
-                                                     std::uint64_t seed) {
+/// synthetic netlists with varied pipeline settings. All requests use the
+/// one eigensolver backend given by `solver` ("scalar" keeps every wire
+/// byte identical to the pre-solver-field protocol).
+std::vector<service::PartitionRequest> make_workload(
+    std::size_t count, std::uint64_t seed, core::SolverBackend solver) {
   std::vector<graph::Hypergraph> pool;
   for (std::size_t i = 0; i < 4; ++i) {
     graph::GeneratorConfig cfg;
@@ -78,6 +80,7 @@ std::vector<service::PartitionRequest> make_workload(std::size_t count,
     req.balance = balances[rng.next_below(3)];
     req.pipeline.num_eigenvectors = dims[rng.next_below(4)];
     req.pipeline.scaling = scalings[rng.next_below(2)];
+    req.pipeline.solver.backend = solver;
     reqs.push_back(std::move(req));
   }
   return reqs;
@@ -173,12 +176,15 @@ int main(int argc, char** argv) {
   cli.add_flag("connect", "",
                "host:port of a running specpart_server (empty = in-process)");
   cli.add_flag("window", "16", "TCP mode: pipelining window");
+  cli.add_flag("solver", "scalar",
+               "eigensolver backend for every request: scalar | block");
   try {
     if (!cli.parse(argc, argv)) return 0;
     const std::size_t count =
         static_cast<std::size_t>(cli.get_int("requests"));
-    const std::vector<service::PartitionRequest> reqs =
-        make_workload(count, static_cast<std::uint64_t>(cli.get_int("seed")));
+    const std::vector<service::PartitionRequest> reqs = make_workload(
+        count, static_cast<std::uint64_t>(cli.get_int("seed")),
+        core::parse_solver_backend(cli.get("solver")));
 
     RunResult run;
     const std::string connect = cli.get("connect");

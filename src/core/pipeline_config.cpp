@@ -8,8 +8,7 @@ spectral::EmbeddingOptions PipelineConfig::embedding_options() const {
   spectral::EmbeddingOptions eopts;
   eopts.count = num_eigenvectors;
   eopts.skip_trivial = !include_trivial;
-  eopts.dense_threshold = dense_threshold;
-  eopts.dense_fallback_limit = dense_fallback_limit;
+  eopts.solver = solver;
   eopts.seed = seed;
   eopts.parallel = parallel;
   return eopts;
@@ -65,6 +64,16 @@ std::string_view selection_rule_token(SelectionRule s) {
   return "?";
 }
 
+std::string_view solver_backend_token(SolverBackend b) {
+  switch (b) {
+    case SolverBackend::kScalar:
+      return "scalar";
+    case SolverBackend::kBlock:
+      return "block";
+  }
+  return "?";
+}
+
 CoordScaling parse_coord_scaling(std::string_view token) {
   if (token == "sqrt_gap") return CoordScaling::kSqrtGap;
   if (token == "gap") return CoordScaling::kGap;
@@ -89,6 +98,13 @@ SelectionRule parse_selection_rule(std::string_view token) {
   if (token == "cosine") return SelectionRule::kCosine;
   throw Error("unknown selection rule '" + std::string(token) +
               "' (expected magnitude | projection | cosine)");
+}
+
+SolverBackend parse_solver_backend(std::string_view token) {
+  if (token == "scalar") return SolverBackend::kScalar;
+  if (token == "block") return SolverBackend::kBlock;
+  throw Error("unknown solver backend '" + std::string(token) +
+              "' (expected scalar | block)");
 }
 
 }  // namespace specpart::core

@@ -27,6 +27,12 @@
 
 namespace specpart::core {
 
+/// The single solver-configuration struct (defined in linalg so the
+/// spectral layer can consume it without depending on core). PipelineConfig
+/// owns the instance every layer passes through.
+using SolverOptions = linalg::SolverOptions;
+using SolverBackend = linalg::SolverBackend;
+
 /// Value-semantic pipeline knobs shared by the CLI drivers, the experiment
 /// runners and the partitioning service. See MeloOptions (core/drivers.h)
 /// for the per-run attachments layered on top.
@@ -53,11 +59,10 @@ struct PipelineConfig {
   /// Diversified orderings: run r uses the (r+1)-th longest vector as the
   /// seed vertex; the best split across runs wins.
   std::size_t num_starts = 1;
-  /// Dense eigensolver threshold (passed to the embedding driver).
-  std::size_t dense_threshold = 320;
-  /// Last-resort dense solve cap for the eigensolver fallback chain
-  /// (see EmbeddingOptions::dense_fallback_limit; 0 disables).
-  std::size_t dense_fallback_limit = 2048;
+  /// Eigensolve configuration: backend (scalar | block), tolerance, dense
+  /// threshold / fallback limit, iteration caps. The former top-level
+  /// dense_threshold / dense_fallback_limit knobs live inside.
+  SolverOptions solver;
   std::uint64_t seed = 0x3E10ULL;
   /// Clique-pair admission budget for the net model: when > 0 and the
   /// exact expansion size sum p(p-1)/2 exceeds it, the pipeline fails fast
@@ -86,11 +91,13 @@ struct PipelineConfig {
 std::string_view coord_scaling_token(CoordScaling s);
 std::string_view net_model_token(model::NetModel m);
 std::string_view selection_rule_token(SelectionRule s);
+std::string_view solver_backend_token(SolverBackend b);
 
 /// Parse a token back. Throws specpart::Error on an unknown token, naming
 /// the accepted spellings.
 CoordScaling parse_coord_scaling(std::string_view token);
 model::NetModel parse_net_model(std::string_view token);
 SelectionRule parse_selection_rule(std::string_view token);
+SolverBackend parse_solver_backend(std::string_view token);
 
 }  // namespace specpart::core

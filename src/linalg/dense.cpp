@@ -46,6 +46,18 @@ Vec add(const Vec& a, const Vec& b) {
   return out;
 }
 
+Vec Panel::col(std::size_t j) const {
+  SP_ASSERT(j < cols_);
+  Vec v(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) v[i] = data_[i * cols_ + j];
+  return v;
+}
+
+void Panel::set_col(std::size_t j, const Vec& v) {
+  SP_ASSERT(j < cols_ && v.size() == rows_);
+  for (std::size_t i = 0; i < rows_; ++i) data_[i * cols_ + j] = v[i];
+}
+
 DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 

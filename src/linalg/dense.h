@@ -39,6 +39,46 @@ Vec sub(const Vec& a, const Vec& b);
 /// Elementwise a + b.
 Vec add(const Vec& a, const Vec& b);
 
+/// Contiguous row-major n x b panel: the multi-vector operand of the
+/// blocked sparse kernels (SymCsrMatrix::spmm, block Lanczos).
+///
+/// Row-major is the SIMD-friendly layout for sparse x dense-panel products:
+/// the inner update y[i][:] += a_ij * x[j][:] streams one contiguous b-wide
+/// row per nonzero, so the compiler can vectorize over the panel width and
+/// each CSR value is loaded once for all b columns instead of once per
+/// column. Kept separate from DenseMatrix so kernel signatures say "panel"
+/// (tall, narrow, row-contiguous) rather than "any matrix".
+class Panel {
+ public:
+  Panel() = default;
+  Panel(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Contiguous b-wide row i.
+  double* row(std::size_t i) { return data_.data() + i * cols_; }
+  const double* row(std::size_t i) const { return data_.data() + i * cols_; }
+
+  double& at(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  double at(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  /// Column j as a vector (strided gather; for tests and extraction).
+  Vec col(std::size_t j) const;
+  void set_col(std::size_t j, const Vec& v);
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
 /// Row-major dense matrix.
 class DenseMatrix {
  public:

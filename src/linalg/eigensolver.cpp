@@ -1,0 +1,59 @@
+#include "linalg/eigensolver.h"
+
+namespace specpart::linalg {
+
+namespace {
+
+// The scalar backend maps SolverOptions onto LanczosOptions field-for-field
+// so its numerics are byte-identical to the pre-interface direct calls.
+class ScalarSolver final : public EigenSolver {
+ public:
+  std::string_view name() const override { return "scalar"; }
+
+  LanczosResult solve_smallest(const SymCsrMatrix& a, std::size_t want,
+                               std::uint64_t seed, const SolverOptions& opts,
+                               const ParallelConfig& parallel,
+                               ComputeBudget* budget) const override {
+    LanczosOptions lopts;
+    lopts.num_eigenpairs = want;
+    lopts.max_iterations = opts.max_iterations;
+    lopts.tolerance = opts.tolerance;
+    lopts.seed = seed;
+    lopts.reorthogonalization = opts.reorthogonalization;
+    lopts.budget = budget;
+    lopts.parallel = parallel;
+    return lanczos_smallest(a, lopts);
+  }
+};
+
+class BlockSolver final : public EigenSolver {
+ public:
+  std::string_view name() const override { return "block"; }
+
+  LanczosResult solve_smallest(const SymCsrMatrix& a, std::size_t want,
+                               std::uint64_t seed, const SolverOptions& opts,
+                               const ParallelConfig& parallel,
+                               ComputeBudget* budget) const override {
+    BlockLanczosOptions bopts;
+    bopts.num_eigenpairs = want;
+    bopts.block_size = opts.block_size;
+    bopts.max_iterations = opts.max_iterations;
+    bopts.tolerance = opts.tolerance;
+    bopts.seed = seed;
+    bopts.budget = budget;
+    bopts.parallel = parallel;
+    return block_lanczos_smallest(a, bopts);
+  }
+};
+
+}  // namespace
+
+const EigenSolver& eigen_solver(SolverBackend backend) {
+  static const ScalarSolver scalar;
+  static const BlockSolver block;
+  return backend == SolverBackend::kBlock
+             ? static_cast<const EigenSolver&>(block)
+             : static_cast<const EigenSolver&>(scalar);
+}
+
+}  // namespace specpart::linalg

@@ -1,0 +1,90 @@
+// Unified eigensolver backend API.
+//
+// The embedding stage historically talked to lanczos_smallest directly and
+// every caller re-plumbed its own LanczosOptions / EmbeddingOptions knobs.
+// This header collapses that into one seam: SolverOptions is the single
+// solver-configuration struct (owned by core::PipelineConfig and threaded
+// through MeloOptions, the service and the tools), and EigenSolver is the
+// stable interface behind which the scalar Lanczos chain and the block
+// Lanczos driver are interchangeable.
+//
+// Backend contract:
+//  * kScalar — the existing single-vector Lanczos chain (lanczos.h). Given
+//    the same inputs it is byte-identical to the pre-interface code path;
+//    this is the default and the compatibility anchor for cached bases and
+//    recorded wire traffic.
+//  * kBlock — block Lanczos (block_lanczos.h): all wanted directions
+//    advance through one sparse x panel product per step, moving ~b x fewer
+//    Laplacian bytes per eigenpair; bit-identical across thread counts.
+//
+// Stable string tokens for the two backends ("scalar", "block") are parsed
+// and printed in exactly one place: core/pipeline_config.{h,cpp}.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "linalg/block_lanczos.h"
+#include "linalg/lanczos.h"
+#include "linalg/sparse.h"
+#include "util/budget.h"
+#include "util/parallel.h"
+
+namespace specpart::linalg {
+
+/// Which eigensolver implementation runs the eigensolve stage.
+enum class SolverBackend { kScalar, kBlock };
+
+/// The one solver-configuration struct. Replaces the ad-hoc spread of
+/// LanczosOptions / EmbeddingOptions fields; PipelineConfig owns an
+/// instance (aliased as core::SolverOptions) and every layer passes it
+/// through unchanged. Fields that only one backend consumes are documented
+/// as such and ignored by the other.
+struct SolverOptions {
+  SolverBackend backend = SolverBackend::kScalar;
+  /// Relative residual tolerance for the iterative solvers, and the
+  /// convergence contract recorded in EigenBasis.
+  double tolerance = 1e-8;
+  /// Problems with n <= dense_threshold skip Krylov entirely and use the
+  /// exact dense decomposition (cheaper and unconditionally robust).
+  std::size_t dense_threshold = 320;
+  /// Largest n for which the embedding fallback chain may escalate a
+  /// non-converged iterative solve to the dense solver (0 disables).
+  std::size_t dense_fallback_limit = 2048;
+  /// Krylov-column cap; 0 = the solvers' automatic formula. The embedding
+  /// fallback chain enlarges this per attempt, so it is per-call state as
+  /// much as configuration.
+  std::size_t max_iterations = 0;
+  /// kBlock only: panel width b (0 = automatic).
+  std::size_t block_size = 0;
+  /// kScalar only: reorthogonalization policy.
+  Reorthogonalization reorthogonalization = Reorthogonalization::kFull;
+};
+
+/// Stateless eigensolve backend: computes the `want` smallest eigenpairs of
+/// a symmetric sparse matrix. Implementations are singletons returned by
+/// eigen_solver(); they hold no per-call state, so one instance serves
+/// concurrent pipelines.
+class EigenSolver {
+ public:
+  virtual ~EigenSolver() = default;
+
+  /// Stable backend token ("scalar" | "block"); used in cache keys, wire
+  /// fields, diagnostics and bench rows.
+  virtual std::string_view name() const = 0;
+
+  /// Runs the backend. `seed` is per-call (the embedding fallback chain
+  /// reseeds between attempts); `opts` supplies tolerance / iteration caps;
+  /// threading and budget ride alongside because they are pipeline state,
+  /// not solver configuration.
+  virtual LanczosResult solve_smallest(const SymCsrMatrix& a,
+                                       std::size_t want, std::uint64_t seed,
+                                       const SolverOptions& opts,
+                                       const ParallelConfig& parallel,
+                                       ComputeBudget* budget) const = 0;
+};
+
+/// The process-wide backend instance for `backend`.
+const EigenSolver& eigen_solver(SolverBackend backend);
+
+}  // namespace specpart::linalg

@@ -52,6 +52,31 @@ Vec SymCsrMatrix::matvec(const Vec& x) const {
   return y;
 }
 
+void SymCsrMatrix::spmm(const Panel& x, Panel& y,
+                        const ParallelConfig& par) const {
+  const std::size_t n = storage_.num_rows();
+  const std::size_t b = x.cols();
+  SP_ASSERT(x.rows() == n && y.rows() == n && y.cols() == b);
+  parallel_for(par, 0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      double* yi = y.row(i);
+      for (std::size_t c = 0; c < b; ++c) yi[c] = 0.0;
+      for (std::size_t k = storage_.offsets[i]; k < storage_.offsets[i + 1];
+           ++k) {
+        const double a = storage_.values[k];
+        const double* xk = x.row(storage_.cols[k]);
+        for (std::size_t c = 0; c < b; ++c) yi[c] += a * xk[c];
+      }
+    }
+  });
+}
+
+std::size_t SymCsrMatrix::stream_bytes() const {
+  return storage_.values.size() * sizeof(double) +
+         storage_.cols.size() * sizeof(std::uint32_t) +
+         storage_.offsets.size() * sizeof(std::size_t);
+}
+
 double SymCsrMatrix::at(std::size_t i, std::size_t j) const {
   SP_ASSERT(i < size() && j < size());
   for (std::size_t k = storage_.offsets[i]; k < storage_.offsets[i + 1]; ++k)

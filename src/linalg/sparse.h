@@ -57,6 +57,22 @@ class SymCsrMatrix {
   void matvec(const Vec& x, Vec& y, const ParallelConfig& par) const;
   Vec matvec(const Vec& x) const;
 
+  /// Y = A X for an n x b panel (see linalg::Panel): the blocked SpMM that
+  /// advances all b Krylov directions through one sweep of the matrix. Rows
+  /// are split into fixed blocks like matvec; every output row is an
+  /// independent left-to-right accumulation over the row's nonzeros, so the
+  /// result is bit-identical for any thread count. The contiguous row-major
+  /// panel makes the inner b-wide update y_i += a_ik * x_k vectorizable and
+  /// loads each CSR entry once for all b columns (a matvec chain loads the
+  /// matrix b times for the same work).
+  void spmm(const Panel& x, Panel& y, const ParallelConfig& par = {}) const;
+
+  /// Bytes one full sweep of the CSR arrays streams (values + column
+  /// indices + row offsets): the unit of the eigensolver bytes-moved
+  /// counters. One matvec moves stream_bytes(); one spmm over a b-wide
+  /// panel also moves stream_bytes(), amortized over b columns.
+  std::size_t stream_bytes() const;
+
   /// Entry lookup (linear scan within the row; intended for tests).
   double at(std::size_t i, std::size_t j) const;
 

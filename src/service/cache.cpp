@@ -64,11 +64,16 @@ Fingerprint EmbeddingCache::eigen_key(const graph::Graph& g,
               (static_cast<std::uint64_t>(e.v) << 32));
     h.mix_double(e.weight);
   }
-  // Solver options: anything that can change the returned bits.
+  // Solver options: anything that can change the returned bits. The
+  // backend token keeps scalar- and block-solved bases in disjoint cache
+  // domains — their eigenvectors agree only to tolerance, not bitwise.
   h.mix_bool(opts.skip_trivial);
-  h.mix_size(opts.dense_threshold);
-  h.mix_size(opts.dense_fallback_limit);
-  h.mix_double(opts.tolerance);
+  h.mix_string(core::solver_backend_token(opts.solver.backend));
+  h.mix_size(opts.solver.dense_threshold);
+  h.mix_size(opts.solver.dense_fallback_limit);
+  h.mix_double(opts.solver.tolerance);
+  h.mix_size(opts.solver.max_iterations);
+  h.mix_size(opts.solver.block_size);
   h.mix_u64(opts.seed);
   h.mix_size(solve_count);
   return h.digest();
@@ -94,11 +99,16 @@ Fingerprint EmbeddingCache::netlist_key(const graph::Hypergraph& h,
     hs.mix_span(pins);
     hs.mix_double(h.net_weight(e));
   }
-  // Solver options: anything that can change the returned bits.
+  // Solver options: anything that can change the returned bits. The
+  // backend token keeps scalar- and block-solved bases in disjoint cache
+  // domains — a scalar-warmed cache must miss under solver=block.
   hs.mix_bool(opts.skip_trivial);
-  hs.mix_size(opts.dense_threshold);
-  hs.mix_size(opts.dense_fallback_limit);
-  hs.mix_double(opts.tolerance);
+  hs.mix_string(core::solver_backend_token(opts.solver.backend));
+  hs.mix_size(opts.solver.dense_threshold);
+  hs.mix_size(opts.solver.dense_fallback_limit);
+  hs.mix_double(opts.solver.tolerance);
+  hs.mix_size(opts.solver.max_iterations);
+  hs.mix_size(opts.solver.block_size);
   hs.mix_u64(opts.seed);
   hs.mix_size(solve_count);
   return hs.digest();
@@ -173,6 +183,10 @@ spectral::EigenBasis EmbeddingCache::insert(const Fingerprint& key,
   const bool clean =
       full.converged && !full.truncated && !full.budget_exhausted;
   spectral::EigenBasis sliced = slice_basis(full, count);
+  // The fresh solve's cost counters belong to this run; cache *hits* go
+  // through slice_basis alone and correctly report zero solve cost.
+  sliced.solve_flops = full.solve_flops;
+  sliced.solve_bytes_moved = full.solve_bytes_moved;
 
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t bytes = basis_bytes(full);

@@ -106,8 +106,12 @@ void write_request(const PartitionRequest& req, std::ostream& out) {
       << " lazy_window=" << p.lazy_window
       << " lazy_rerank=" << p.lazy_rerank_interval
       << " net_model=" << core::net_model_token(p.net_model)
-      << " starts=" << p.num_starts << " seed=" << p.seed
-      << " graph_lines=" << lines << '\n';
+      << " starts=" << p.num_starts << " seed=" << p.seed;
+  // Emitted only for non-default backends: absent means scalar, which keeps
+  // the wire bytes of scalar requests identical to the pre-solver protocol.
+  if (p.solver.backend != core::SolverBackend::kScalar)
+    out << " solver=" << core::solver_backend_token(p.solver.backend);
+  out << " graph_lines=" << lines << '\n';
   out << payload;
   out << "END\n";
 }
@@ -149,6 +153,14 @@ PartitionRequest parse_request(const std::string& header_line,
       p.num_starts = parse_size(value, "starts");
     } else if (key == "seed") {
       p.seed = static_cast<std::uint64_t>(parse_size(value, "seed"));
+    } else if (key == "solver") {
+      // Absent field = scalar (backward compatible); an unknown token is a
+      // structured bad_request error, not a protocol-level crash.
+      try {
+        p.solver.backend = core::parse_solver_backend(value);
+      } catch (const Error& e) {
+        throw Error(std::string("bad_request: ") + e.what());
+      }
     } else if (key == "graph_lines") {
       graph_lines = parse_size(value, "graph_lines");
       have_graph_lines = true;

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "graph/laplacian.h"
-#include "linalg/lanczos.h"
+#include "linalg/eigensolver.h"
 #include "linalg/symmetric_eigen.h"
 #include "util/error.h"
 #include "util/stringutil.h"
@@ -18,11 +18,15 @@ void note_fallback(Diagnostics* diag, const std::string& message) {
   if (diag != nullptr) diag->fallback(kStage, message);
 }
 
-/// Runs one Lanczos attempt and records its internal recoveries.
+/// Runs one backend attempt and records its internal recoveries.
 linalg::LanczosResult run_attempt(const linalg::SymCsrMatrix& q,
-                                  const linalg::LanczosOptions& lopts,
-                                  Diagnostics* diag) {
-  linalg::LanczosResult result = linalg::lanczos_smallest(q, lopts);
+                                  const linalg::EigenSolver& solver,
+                                  std::size_t want, std::uint64_t seed,
+                                  const linalg::SolverOptions& sopts,
+                                  const ParallelConfig& parallel,
+                                  ComputeBudget* budget, Diagnostics* diag) {
+  linalg::LanczosResult result =
+      solver.solve_smallest(q, want, seed, sopts, parallel, budget);
   if (result.breakdown_restarts > 0)
     note_fallback(diag,
                   strprintf("Lanczos breakdown: %zu invariant-subspace "
@@ -50,7 +54,7 @@ EigenBasis eigenbasis_of_laplacian(const linalg::SymCsrMatrix& q,
   linalg::DenseMatrix vectors;
   bool converged = false;
   std::size_t num_converged = 0;
-  if (n <= opts.dense_threshold) {
+  if (n <= opts.solver.dense_threshold) {
     linalg::EigenDecomposition dec =
         linalg::solve_symmetric_eigen_smallest(q.to_dense(), want);
     values = std::move(dec.values);
@@ -58,13 +62,14 @@ EigenBasis eigenbasis_of_laplacian(const linalg::SymCsrMatrix& q,
     converged = true;
     num_converged = values.size();
   } else {
-    linalg::LanczosOptions lopts;
-    lopts.num_eigenpairs = want;
-    lopts.tolerance = opts.tolerance;
-    lopts.seed = opts.seed;
-    lopts.budget = budget;
-    lopts.parallel = opts.parallel;
-    linalg::LanczosResult result = run_attempt(q, lopts, diag);
+    const linalg::EigenSolver& solver =
+        linalg::eigen_solver(opts.solver.backend);
+    linalg::SolverOptions sopts = opts.solver;
+    std::uint64_t seed = opts.seed;
+    linalg::LanczosResult result = run_attempt(
+        q, solver, want, seed, sopts, opts.parallel, budget, diag);
+    basis.solve_flops += result.flops;
+    basis.solve_bytes_moved += result.matrix_bytes_moved;
 
     // Hardened fallback chain for clustered / pathological spectra. Each
     // escalation is recorded; an exhausted budget short-circuits to the
@@ -76,30 +81,40 @@ EigenBasis eigenbasis_of_laplacian(const linalg::SymCsrMatrix& q,
            budget_ok(budget)) {
       if (step == Step::kReseed) {
         note_fallback(diag, "eigensolver did not converge; reseeded restart");
-        lopts.seed = lopts.seed * 0x9E3779B97F4A7C15ULL + 1;
-        result = run_attempt(q, lopts, diag);
+        seed = seed * 0x9E3779B97F4A7C15ULL + 1;
+        result = run_attempt(q, solver, want, seed, sopts, opts.parallel,
+                             budget, diag);
+        basis.solve_flops += result.flops;
+        basis.solve_bytes_moved += result.matrix_bytes_moved;
         step = Step::kEnlarge;
       } else if (step == Step::kEnlarge) {
-        lopts.max_iterations =
+        sopts.max_iterations =
             std::min(n, std::max<std::size_t>(result.iterations * 2, 160));
         note_fallback(diag, strprintf("enlarged Krylov space to %zu",
-                                      lopts.max_iterations));
-        result = run_attempt(q, lopts, diag);
+                                      sopts.max_iterations));
+        result = run_attempt(q, solver, want, seed, sopts, opts.parallel,
+                             budget, diag);
+        basis.solve_flops += result.flops;
+        basis.solve_bytes_moved += result.matrix_bytes_moved;
         step = Step::kFullReorth;
       } else if (step == Step::kFullReorth) {
-        if (lopts.reorthogonalization !=
+        if (sopts.reorthogonalization !=
             linalg::Reorthogonalization::kFull) {
-          lopts.reorthogonalization = linalg::Reorthogonalization::kFull;
+          sopts.reorthogonalization = linalg::Reorthogonalization::kFull;
           note_fallback(diag, "switched to full reorthogonalization");
-          result = run_attempt(q, lopts, diag);
+          result = run_attempt(q, solver, want, seed, sopts, opts.parallel,
+                               budget, diag);
+          basis.solve_flops += result.flops;
+          basis.solve_bytes_moved += result.matrix_bytes_moved;
         }
         step = Step::kDense;
       } else if (step == Step::kDense) {
-        if (opts.dense_fallback_limit > 0 && n <= opts.dense_fallback_limit) {
+        if (sopts.dense_fallback_limit > 0 &&
+            n <= sopts.dense_fallback_limit) {
           note_fallback(
               diag, strprintf("dense eigensolver fallback (n = %zu above "
                               "dense_threshold = %zu)",
-                              n, opts.dense_threshold));
+                              n, sopts.dense_threshold));
           linalg::EigenDecomposition dec =
               linalg::solve_symmetric_eigen_smallest(q.to_dense(), want);
           values = std::move(dec.values);
@@ -164,6 +179,12 @@ EigenBasis eigenbasis_of_laplacian(const linalg::SymCsrMatrix& q,
     diag->warn(kStage, strprintf("eigenbasis degraded: %zu of %zu requested "
                                  "pair(s) available",
                                  keep, basis.requested));
+  if (diag != nullptr) {
+    // Zero deltas still register the counters, marking the stage as
+    // instrumented (the dense path legitimately measures 0 of both).
+    diag->add_counter(kStage, "flops", basis.solve_flops);
+    diag->add_counter(kStage, "matrix_bytes_moved", basis.solve_bytes_moved);
+  }
   return basis;
 }
 

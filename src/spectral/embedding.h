@@ -14,6 +14,7 @@
 
 #include "graph/graph.h"
 #include "linalg/dense.h"
+#include "linalg/eigensolver.h"
 #include "linalg/sparse.h"
 #include "util/budget.h"
 #include "util/parallel.h"
@@ -28,16 +29,14 @@ struct EmbeddingOptions {
   std::size_t count = 2;
   /// Drop the trivial first pair and return the `count` pairs after it.
   bool skip_trivial = false;
-  /// Use the exact dense solver when n <= dense_threshold.
-  std::size_t dense_threshold = 320;
-  double tolerance = 1e-8;
   std::uint64_t seed = 0xABCDEFULL;
-  /// Last-resort dense solve is attempted when every Lanczos fallback
-  /// fails and n <= dense_fallback_limit (0 disables the dense fallback,
-  /// leaving truncation as the terminal recovery).
-  std::size_t dense_fallback_limit = 2048;
-  /// Compute-kernel threading, forwarded to the Lanczos solver (the dense
-  /// oracle stays serial). See LanczosOptions::parallel.
+  /// The one solver-configuration struct: backend selection (scalar |
+  /// block), tolerance, dense threshold / fallback limit, iteration caps.
+  /// Replaces the former per-field knobs (dense_threshold, tolerance,
+  /// dense_fallback_limit) that every caller re-plumbed separately.
+  linalg::SolverOptions solver;
+  /// Compute-kernel threading, forwarded to the iterative solvers (the
+  /// dense oracle stays serial). See LanczosOptions::parallel.
   ParallelConfig parallel;
 };
 
@@ -64,6 +63,13 @@ struct EigenBasis {
   bool truncated = false;
   /// True when the eigensolve stopped early on an exhausted ComputeBudget.
   bool budget_exhausted = false;
+  /// Leading-order floating-point operations the eigensolve spent, summed
+  /// over every fallback attempt (0 for the dense path and cache hits).
+  std::uint64_t solve_flops = 0;
+  /// Laplacian CSR bytes streamed by the eigensolve, summed over attempts.
+  /// The block backend's headline win: ~b x fewer bytes per eigenpair than
+  /// the scalar chain.
+  std::uint64_t solve_bytes_moved = 0;
 
   std::size_t dimension() const { return values.size(); }
 };

@@ -62,6 +62,24 @@ void Diagnostics::mark_budget_exhausted(const std::string& stage) {
   budget_exhausted_ = true;
 }
 
+void Diagnostics::add_counter(const std::string& stage,
+                              const std::string& name, std::uint64_t delta) {
+  for (StageCounter& c : counters_) {
+    if (c.stage == stage && c.name == name) {
+      c.value += delta;
+      return;
+    }
+  }
+  counters_.push_back({stage, name, delta});
+}
+
+std::uint64_t Diagnostics::counter(const std::string& stage,
+                                   const std::string& name) const {
+  for (const StageCounter& c : counters_)
+    if (c.stage == stage && c.name == name) return c.value;
+  return 0;
+}
+
 StatusCode Diagnostics::status() const {
   if (budget_exhausted_) return StatusCode::kBudgetExhausted;
   if (degraded_) return StatusCode::kDegraded;
@@ -86,6 +104,11 @@ void Diagnostics::print(std::ostream& out) const {
   for (const StageStats& s : stages_) {
     out << strprintf("  stage %-12s: %9.3f ms  (%zu call(s), %zu fallback(s))\n",
                      s.name.c_str(), s.seconds * 1e3, s.calls, s.fallbacks);
+  }
+  for (const StageCounter& c : counters_) {
+    out << strprintf("  counter %s.%s = %llu\n", c.stage.c_str(),
+                     c.name.c_str(),
+                     static_cast<unsigned long long>(c.value));
   }
   for (const DiagnosticEvent& e : events_) {
     out << "  " << (e.is_fallback ? "fallback" : "warning ") << " ["

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -48,6 +49,15 @@ struct DiagnosticEvent {
   bool is_fallback = false;
 };
 
+/// A named integer counter attached to a stage (e.g. the eigensolve
+/// stage's per-run FLOP and Laplacian-bytes-moved totals). Counters are
+/// cumulative across calls into the stage, like StageStats::seconds.
+struct StageCounter {
+  std::string stage;
+  std::string name;
+  std::uint64_t value = 0;
+};
+
 /// Mutable diagnostics sink threaded through the partitioning pipelines.
 /// Not thread-safe; one instance per pipeline run.
 class Diagnostics {
@@ -70,8 +80,19 @@ class Diagnostics {
   StatusCode status() const;
   bool budget_exhausted() const { return budget_exhausted_; }
 
+  /// Accumulates `delta` into counter (`stage`, `name`), creating it on
+  /// first use. Zero deltas still create the counter so consumers can
+  /// distinguish "instrumented, measured 0" from "not instrumented".
+  void add_counter(const std::string& stage, const std::string& name,
+                   std::uint64_t delta);
+
+  /// Value of counter (`stage`, `name`); 0 if never recorded.
+  std::uint64_t counter(const std::string& stage,
+                        const std::string& name) const;
+
   const std::vector<StageStats>& stages() const { return stages_; }
   const std::vector<DiagnosticEvent>& events() const { return events_; }
+  const std::vector<StageCounter>& counters() const { return counters_; }
 
   /// Total fallbacks across all stages.
   std::size_t total_fallbacks() const;
@@ -88,6 +109,7 @@ class Diagnostics {
 
   std::vector<StageStats> stages_;
   std::vector<DiagnosticEvent> events_;
+  std::vector<StageCounter> counters_;
   bool degraded_ = false;
   bool budget_exhausted_ = false;
 };

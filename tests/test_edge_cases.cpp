@@ -41,7 +41,7 @@ TEST(EdgeCases, ThreeVertexPathAllAlgorithms) {
   EXPECT_EQ(sb.partition.num_nonempty(), 2u);
   core::MeloOptions m;
   m.num_eigenvectors = 3;
-  m.dense_threshold = 10;
+  m.solver.dense_threshold = 10;
   EXPECT_EQ(core::melo_bipartition(h, m).partition.num_nonempty(), 2u);
 }
 
@@ -122,7 +122,7 @@ TEST(EdgeCases, WeightedNetsFlowThroughMelo) {
                       {50.0, 1.0, 1.0, 1.0, 1.0, 1.0});
   core::MeloOptions m;
   m.num_eigenvectors = 4;
-  m.dense_threshold = 10;
+  m.solver.dense_threshold = 10;
   const auto r = core::melo_bipartition(h, m, 1.0 / 3.0);
   EXPECT_EQ(r.partition.cluster_of(0), r.partition.cluster_of(1));
 }
@@ -162,7 +162,7 @@ TEST(EdgeCases, DisconnectedNetlistStillOrders) {
   graph::Hypergraph h(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
   core::MeloOptions m;
   m.num_eigenvectors = 3;
-  m.dense_threshold = 10;
+  m.solver.dense_threshold = 10;
   const auto runs = core::melo_orderings(h, m);
   EXPECT_TRUE(part::is_permutation(runs[0].ordering, 6));
   // A min-cut balanced split must cut zero nets.
@@ -179,7 +179,7 @@ TEST(EdgeCases, CompleteGraphUniformSpectrum) {
   const graph::Graph g(10, edges);
   spectral::EmbeddingOptions opts;
   opts.count = 4;
-  opts.dense_threshold = 100;
+  opts.solver.dense_threshold = 100;
   const auto basis = spectral::compute_eigenbasis(g, opts);
   EXPECT_NEAR(basis.values[0], 0.0, 1e-9);
   for (std::size_t j = 1; j < 4; ++j)

@@ -60,9 +60,9 @@ TEST(Embedding, LanczosPathAgreesWithDense) {
   const graph::Graph g = path(200);
   EmbeddingOptions dense_opts;
   dense_opts.count = 5;
-  dense_opts.dense_threshold = 1000;
+  dense_opts.solver.dense_threshold = 1000;
   EmbeddingOptions sparse_opts = dense_opts;
-  sparse_opts.dense_threshold = 0;
+  sparse_opts.solver.dense_threshold = 0;
   const EigenBasis a = compute_eigenbasis(g, dense_opts);
   const EigenBasis b = compute_eigenbasis(g, sparse_opts);
   ASSERT_TRUE(b.converged);

@@ -210,7 +210,7 @@ TEST(MeloDrivers, DEqualsNStillWorks) {
   const graph::Hypergraph h = planted(40, 2, 31);
   MeloOptions opts;
   opts.num_eigenvectors = 40;
-  opts.dense_threshold = 100;
+  opts.solver.dense_threshold = 100;
   const MeloBipartitionResult r = melo_bipartition(h, opts);
   EXPECT_TRUE(part::is_permutation(r.ordering, 40));
   // With all n eigenvectors, each scaling family must still order validly.

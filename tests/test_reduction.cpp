@@ -41,7 +41,7 @@ graph::Graph random_connected_graph(std::size_t n, std::size_t extra,
 spectral::EigenBasis full_basis(const graph::Graph& g) {
   spectral::EmbeddingOptions opts;
   opts.count = g.num_nodes();
-  opts.dense_threshold = 10000;  // exact dense solve
+  opts.solver.dense_threshold = 10000;  // exact dense solve
   return spectral::compute_eigenbasis(g, opts);
 }
 
@@ -149,7 +149,7 @@ TEST(Reduction, DefaultHTruncatedIsUnusedMean) {
   const spectral::EigenBasis full = full_basis(g);
   spectral::EmbeddingOptions opts;
   opts.count = 4;
-  opts.dense_threshold = 10000;
+  opts.solver.dense_threshold = 10000;
   const spectral::EigenBasis trunc = spectral::compute_eigenbasis(g, opts);
   double unused = 0.0;
   for (std::size_t j = 4; j < 12; ++j) unused += full.values[j];
@@ -166,7 +166,7 @@ TEST(Reduction, ReadjustedHMatchesExactAlphaWeights) {
   const spectral::EigenBasis full = full_basis(g);
   spectral::EmbeddingOptions opts;
   opts.count = d;
-  opts.dense_threshold = 10000;
+  opts.solver.dense_threshold = 10000;
   const spectral::EigenBasis trunc = spectral::compute_eigenbasis(g, opts);
 
   const std::vector<graph::NodeId> cluster{0, 2, 3, 7, 9};
@@ -204,7 +204,7 @@ TEST(Reduction, TruncatedApproximationErrorShrinksWithD) {
   for (std::size_t d : {2u, 5u, 10u, 15u, 20u}) {
     spectral::EmbeddingOptions opts;
     opts.count = d;
-    opts.dense_threshold = 10000;
+    opts.solver.dense_threshold = 10000;
     const spectral::EigenBasis basis = spectral::compute_eigenbasis(g, opts);
     const VectorInstance inst = build_max_sum_instance(basis, h_fixed);
     const double err = std::fabs(sum_of_squared_magnitudes(inst, p) -

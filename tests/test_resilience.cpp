@@ -109,7 +109,7 @@ TEST(Resilience, ForcedBreakdownRecoversWithRestart) {
   Diagnostics diag;
   core::MeloOptions m;
   m.num_eigenvectors = 5;
-  m.dense_threshold = 8;  // force the Lanczos path on this small instance
+  m.solver.dense_threshold = 8;  // force the Lanczos path on this small instance
   m.diagnostics = &diag;
   const auto r = core::melo_bipartition(h, m, 0.45);
   expect_valid_balanced(h, r, 0.45);
@@ -128,7 +128,7 @@ TEST(Resilience, ForcedNonConvergenceWalksFallbackChain) {
   Diagnostics diag;
   core::MeloOptions m;
   m.num_eigenvectors = 5;
-  m.dense_threshold = 8;
+  m.solver.dense_threshold = 8;
   m.diagnostics = &diag;
   const auto r = core::melo_bipartition(h, m, 0.45);
   expect_valid_balanced(h, r, 0.45);
@@ -146,7 +146,7 @@ TEST(Resilience, PersistentNonConvergenceFallsBackToDense) {
   Diagnostics diag;
   core::MeloOptions m;
   m.num_eigenvectors = 5;
-  m.dense_threshold = 8;
+  m.solver.dense_threshold = 8;
   m.diagnostics = &diag;
   const auto r = core::melo_bipartition(h, m, 0.45);
   expect_valid_balanced(h, r, 0.45);
@@ -166,8 +166,8 @@ TEST(Resilience, TruncationToConvergedPrefix) {
   Diagnostics diag;
   spectral::EmbeddingOptions eopts;
   eopts.count = 6;
-  eopts.dense_threshold = 8;
-  eopts.dense_fallback_limit = 0;  // terminal recovery is truncation
+  eopts.solver.dense_threshold = 8;
+  eopts.solver.dense_fallback_limit = 0;  // terminal recovery is truncation
   const auto basis = spectral::compute_eigenbasis(g, eopts, &diag);
   EXPECT_TRUE(basis.truncated);
   EXPECT_LT(basis.dimension(), basis.requested);
@@ -184,8 +184,8 @@ TEST(Resilience, TruncatedBasisDegradesDEndToEnd) {
   Diagnostics diag;
   core::MeloOptions m;
   m.num_eigenvectors = 6;
-  m.dense_threshold = 8;
-  m.dense_fallback_limit = 0;  // no dense rescue: d must degrade instead
+  m.solver.dense_threshold = 8;
+  m.solver.dense_fallback_limit = 0;  // no dense rescue: d must degrade instead
   m.diagnostics = &diag;
   const auto r = core::melo_bipartition(h, m, 0.45);
   expect_valid_balanced(h, r, 0.45);
@@ -206,7 +206,7 @@ TEST(Resilience, ClusteredSpectrumCompleteGraph) {
   Diagnostics diag;
   core::MeloOptions m;
   m.num_eigenvectors = 5;
-  m.dense_threshold = 8;
+  m.solver.dense_threshold = 8;
   m.diagnostics = &diag;
   const auto r = core::melo_bipartition(h, m, 0.45);
   expect_valid_balanced(h, r, 0.45);
@@ -220,7 +220,7 @@ TEST(Resilience, ExpiredDeadlineReturnsBestSoFarPartition) {
   Diagnostics diag;
   core::MeloOptions m;
   m.num_eigenvectors = 6;
-  m.dense_threshold = 8;  // Lanczos path: the budget bites mid-eigensolve
+  m.solver.dense_threshold = 8;  // Lanczos path: the budget bites mid-eigensolve
   m.num_starts = 3;
   m.diagnostics = &diag;
   m.budget = &budget;
