@@ -11,12 +11,22 @@
 // requests repeats an earlier embedding (content-addressed cache hits).
 // Whenever a request's wire bytes repeat exactly, the loadgen also checks
 // the response bytes repeat exactly — the serving determinism contract.
+//
+// --shards sweeps sharded topologies instead: for each shard count it
+// spins up that many in-process TCP shard servers plus a ShardRouter and
+// replays the same workload, then checks every response byte-identical
+// across ALL topologies (the hash ring only changes *where* a request
+// computes, never *what* it computes). --kill-shard-at N hard-kills the
+// primary shard of the next request after N responses, exercising
+// retry -> breaker -> ring failover under fire.
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <deque>
 #include <future>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -24,6 +34,8 @@
 #include "graph/generator.h"
 #include "service/net.h"
 #include "service/protocol.h"
+#include "service/router.h"
+#include "service/server.h"
 #include "service/service.h"
 #include "util/cli.h"
 #include "util/error.h"
@@ -101,6 +113,35 @@ struct RunResult {
   double elapsed_seconds = 0.0;
 };
 
+struct Audit {
+  std::size_t unique = 0;
+  std::size_t repeats = 0;
+  std::size_t mismatches = 0;
+  std::size_t errors = 0;
+};
+
+/// Determinism audit: identical request bytes must yield identical
+/// response bytes, whether the repeat was served cold, from cache, or by
+/// a different shard.
+Audit audit_run(const std::vector<service::PartitionRequest>& reqs,
+                const RunResult& run) {
+  std::map<std::string, std::string> seen;
+  Audit a;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (run.responses[i].status == "error") ++a.errors;
+    const std::string key = strip_id(request_wire(reqs[i]), reqs[i].id);
+    const std::string resp =
+        strip_id(response_wire(run.responses[i]), run.responses[i].id);
+    const auto [it, inserted] = seen.emplace(key, resp);
+    if (!inserted) {
+      ++a.repeats;
+      if (it->second != resp) ++a.mismatches;
+    }
+  }
+  a.unique = seen.size();
+  return a;
+}
+
 RunResult run_inproc(const std::vector<service::PartitionRequest>& reqs,
                      const service::ServiceOptions& opts) {
   service::PartitionService svc(opts);
@@ -161,6 +202,105 @@ RunResult run_tcp(const std::vector<service::PartitionRequest>& reqs,
   return run;
 }
 
+/// One sharded-topology run: `num_shards` in-process TCP shard servers
+/// fronted by a ShardRouter. When `kill_at` >= 0, the primary shard of
+/// request `kill_at` is hard-killed (listener + live connections severed)
+/// right before that request is issued, so the router must recover it via
+/// retry -> breaker -> ring failover. Returns every response; the caller
+/// audits the bytes.
+RunResult run_sharded(const std::vector<service::PartitionRequest>& reqs,
+                      std::size_t num_shards, std::int64_t kill_at) {
+  service::ShardServerOptions shard_opts;
+  shard_opts.service.num_workers = 2;
+  shard_opts.service.cache.max_bytes = 64ull << 20;
+  std::vector<std::unique_ptr<service::ShardServer>> servers;
+  servers.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i)
+    servers.push_back(std::make_unique<service::ShardServer>(shard_opts));
+
+  service::RouterOptions opts;
+  for (const auto& server : servers) {
+    service::ShardClientOptions shard;
+    shard.port = server->port();
+    shard.connect_timeout_ms = 1000;
+    shard.backoff.base_ms = 5;
+    shard.backoff.max_ms = 50;
+    shard.breaker.cooldown_seconds = 0.5;
+    opts.shards.push_back(shard);
+  }
+  opts.health_interval_seconds = 0.2;
+  opts.local.num_workers = 2;
+  opts.local.cache.max_bytes = 64ull << 20;
+  service::ShardRouter router(opts);
+
+  // The ring construction is deterministic, so an external replica maps
+  // requests to shards exactly like the router's own — that's how we pick
+  // a victim that is guaranteed to be carrying the next request.
+  const service::HashRing ring(num_shards, opts.vnodes);
+
+  RunResult run;
+  run.responses.reserve(reqs.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (kill_at >= 0 && i == static_cast<std::size_t>(kill_at)) {
+      const Fingerprint key = service::routing_key(reqs[i]);
+      const std::size_t victim = ring.primary(key.hi ^ key.lo);
+      std::printf("loadgen: killing shard %zu (%s) before request %zu\n",
+                  victim, router.shard(victim).name().c_str(), i);
+      servers[victim]->kill();
+    }
+    run.responses.push_back(router.route(reqs[i]));
+  }
+  run.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::cout << router.snapshot().render_text();
+  for (auto& server : servers) server->stop();
+  return run;
+}
+
+/// Replays the workload across every topology in `shard_counts` and
+/// audits byte-identity across all of them. Returns the number of
+/// cross-topology mismatches; the caller folds the per-run audits.
+std::size_t run_topology_sweep(
+    const std::vector<service::PartitionRequest>& reqs,
+    const std::vector<std::size_t>& shard_counts, std::int64_t kill_at,
+    std::vector<RunResult>& runs) {
+  std::vector<std::string> reference;
+  std::size_t cross_mismatches = 0;
+  for (const std::size_t n : shard_counts) {
+    // Killing the only shard of a 1-shard ring would just exercise local
+    // fallback for the whole tail; reserve the kill for topologies where
+    // ring failover can engage.
+    const std::int64_t kill = n >= 2 ? kill_at : -1;
+    std::printf("\nloadgen: === topology: %zu shard%s%s ===\n", n,
+                n == 1 ? "" : "s",
+                kill >= 0 ? " (with mid-run shard kill)" : "");
+    RunResult run = run_sharded(reqs, n, kill);
+    if (reference.empty()) {
+      reference.reserve(run.responses.size());
+      for (const auto& resp : run.responses)
+        reference.push_back(strip_id(response_wire(resp), resp.id));
+    } else {
+      for (std::size_t i = 0; i < run.responses.size(); ++i) {
+        const std::string wire =
+            strip_id(response_wire(run.responses[i]), run.responses[i].id);
+        if (wire != reference[i]) {
+          ++cross_mismatches;
+          std::fprintf(stderr,
+                       "loadgen: topology %zu: request %zu bytes differ "
+                       "from the reference topology\n",
+                       n, i);
+        }
+      }
+    }
+    std::printf("loadgen: topology %zu: %zu requests in %.3f s\n", n,
+                reqs.size(), run.elapsed_seconds);
+    runs.push_back(std::move(run));
+  }
+  return cross_mismatches;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,13 +318,59 @@ int main(int argc, char** argv) {
   cli.add_flag("window", "16", "TCP mode: pipelining window");
   cli.add_flag("solver", "scalar",
                "eigensolver backend for every request: scalar | block");
+  cli.add_flag("shards", "",
+               "comma-separated shard counts (e.g. 1,2,4): replay the "
+               "workload through an in-process router + TCP shards per "
+               "topology and audit cross-topology byte-identity");
+  cli.add_flag("kill-shard-at", "-1",
+               "sharded mode: hard-kill the primary shard of this request "
+               "index mid-run in every multi-shard topology (-1 = never)");
   try {
     if (!cli.parse(argc, argv)) return 0;
+    // Shards die mid-write in this harness by design; that must error a
+    // stream, not kill the process.
+    std::signal(SIGPIPE, SIG_IGN);
     const std::size_t count =
         static_cast<std::size_t>(cli.get_int("requests"));
     const std::vector<service::PartitionRequest> reqs = make_workload(
         count, static_cast<std::uint64_t>(cli.get_int("seed")),
         core::parse_solver_backend(cli.get("solver")));
+
+    const std::string shards_spec = cli.get("shards");
+    if (!shards_spec.empty()) {
+      std::vector<std::size_t> counts;
+      for (const std::string& tok : split_char(shards_spec, ','))
+        if (!trim(tok).empty())
+          counts.push_back(parse_size(trim(tok), "shard count"));
+      if (counts.empty())
+        throw Error("loadgen: --shards wants counts like 1,2,4");
+      std::vector<RunResult> runs;
+      const std::size_t cross_mismatches = run_topology_sweep(
+          reqs, counts, cli.get_int("kill-shard-at"), runs);
+      std::size_t mismatches = cross_mismatches, errors = 0, repeats = 0;
+      for (std::size_t t = 0; t < runs.size(); ++t) {
+        const Audit a = audit_run(reqs, runs[t]);
+        std::printf(
+            "loadgen: topology %zu: %zu unique requests, %zu repeats, %zu "
+            "byte-identity mismatches, %zu errors\n",
+            counts[t], a.unique, a.repeats, a.mismatches, a.errors);
+        mismatches += a.mismatches;
+        errors += a.errors;
+        repeats += a.repeats;
+      }
+      std::printf(
+          "\nloadgen: sweep over %zu topologies: %zu repeats, %zu "
+          "byte-identity mismatches (incl. %zu cross-topology), %zu "
+          "errors\n",
+          counts.size(), repeats, mismatches, cross_mismatches, errors);
+      if (mismatches != 0 || errors != 0) {
+        std::fprintf(stderr,
+                     "loadgen: FAIL: sharded sweep broke the determinism "
+                     "contract or dropped requests\n");
+        return 1;
+      }
+      return 0;
+    }
 
     RunResult run;
     const std::string connect = cli.get("connect");
@@ -205,29 +391,15 @@ int main(int argc, char** argv) {
                     static_cast<std::size_t>(cli.get_int("window")));
     }
 
-    // Determinism audit: identical request bytes must yield identical
-    // response bytes, whether the repeat was served cold or from cache.
-    std::map<std::string, std::string> seen;
-    std::size_t repeats = 0, mismatches = 0, errors = 0;
-    for (std::size_t i = 0; i < reqs.size(); ++i) {
-      if (run.responses[i].status == "error") ++errors;
-      const std::string key = strip_id(request_wire(reqs[i]), reqs[i].id);
-      const std::string resp =
-          strip_id(response_wire(run.responses[i]), run.responses[i].id);
-      const auto [it, inserted] = seen.emplace(key, resp);
-      if (!inserted) {
-        ++repeats;
-        if (it->second != resp) ++mismatches;
-      }
-    }
-
+    const Audit a = audit_run(reqs, run);
     std::printf("\nloadgen: %zu requests in %.3f s (%.1f req/s)\n",
                 reqs.size(), run.elapsed_seconds,
                 static_cast<double>(reqs.size()) / run.elapsed_seconds);
     std::printf(
         "loadgen: %zu unique requests, %zu repeats, %zu byte-identity "
         "mismatches, %zu errors\n",
-        seen.size(), repeats, mismatches, errors);
+        a.unique, a.repeats, a.mismatches, a.errors);
+    const std::size_t mismatches = a.mismatches, errors = a.errors;
     if (mismatches != 0) {
       std::fprintf(stderr,
                    "loadgen: FAIL: repeated requests produced different "

@@ -11,144 +11,25 @@
 //   PING     -> PONG (after all earlier responses)
 //   METRICS  -> METRICS frame (key/value lines, END-terminated)
 //   QUIT     -> drains, says BYE, closes the connection
-#include <condition_variable>
+//
+// The serving loop itself lives in service/server.h, shared with
+// specpart_router and the multi-shard tests.
+#include <csignal>
 #include <cstdio>
-#include <deque>
-#include <future>
 #include <iostream>
-#include <mutex>
-#include <thread>
 
 #include "service/net.h"
-#include "service/protocol.h"
+#include "service/server.h"
 #include "service/service.h"
 #include "util/cli.h"
 #include "util/error.h"
-#include "util/stringutil.h"
 
 using namespace specpart;
 
-namespace {
-
-void write_metrics_frame(const service::MetricsSnapshot& snap,
-                         std::ostream& out) {
-  out << "METRICS\n";
-  for (const auto& [key, value] : snap.key_values())
-    out << "METRIC " << key << strprintf(" %.17g", value) << '\n';
-  out << "END\n";
-}
-
-/// Serves one connection's byte streams until EOF or QUIT.
-///
-/// The reader (this function) parses frames and enqueues work; a dedicated
-/// writer thread emits each response as soon as its future resolves. The
-/// split matters: a pipelining client only sends more requests after it
-/// reads responses, so a server that writes only between reads deadlocks
-/// once the client's window fills. The queue preserves request order, so
-/// clients still read responses strictly FIFO.
-void serve_stream(service::PartitionService& svc, std::istream& in,
-                  std::ostream& out, bool reject_when_full) {
-  struct Item {
-    enum Kind { kResponse, kReady, kPong, kMetrics, kBye } kind;
-    std::future<service::PartitionResponse> future;  // kResponse
-    service::PartitionResponse response;             // kReady
-  };
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<Item> items;
-  const auto push = [&](Item item) {
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      items.push_back(std::move(item));
-    }
-    cv.notify_one();
-  };
-  std::thread writer([&] {
-    for (;;) {
-      Item item;
-      {
-        std::unique_lock<std::mutex> lock(mutex);
-        cv.wait(lock, [&] { return !items.empty(); });
-        item = std::move(items.front());
-        items.pop_front();
-      }
-      switch (item.kind) {
-        case Item::kResponse:
-          service::write_response(item.future.get(), out);
-          break;
-        case Item::kReady:
-          service::write_response(item.response, out);
-          break;
-        case Item::kPong:
-          out << "PONG\n";
-          break;
-        case Item::kMetrics:
-          // Snapshot here, after all earlier responses went out, so the
-          // frame reflects at least everything the client has seen.
-          write_metrics_frame(svc.snapshot(), out);
-          break;
-        case Item::kBye:
-          out << "BYE\n";
-          out.flush();
-          return;
-      }
-      out.flush();
-    }
-  });
-
-  std::string line;
-  bool failed = false;
-  while (!failed && std::getline(in, line)) {
-    const std::string_view stripped = trim(line);
-    if (stripped.empty()) continue;
-    try {
-      if (starts_with(stripped, "REQUEST")) {
-        service::PartitionRequest req = service::parse_request(line, in);
-        Item item;
-        if (reject_when_full) {
-          if (svc.try_submit(std::move(req), item.future)) {
-            item.kind = Item::kResponse;
-          } else {
-            // Admission control: the rejection is itself an error
-            // response, so clients see *why* instead of a stall.
-            item.kind = Item::kReady;
-            item.response.id = req.id;
-            item.response.status = "error";
-            item.response.error = "rejected: queue full";
-          }
-        } else {
-          item.kind = Item::kResponse;
-          item.future = svc.submit(std::move(req));  // backpressure
-        }
-        push(std::move(item));
-      } else if (stripped == "PING") {
-        push(Item{Item::kPong, {}, {}});
-      } else if (stripped == "METRICS") {
-        push(Item{Item::kMetrics, {}, {}});
-      } else if (stripped == "QUIT") {
-        break;
-      } else {
-        throw Error("unknown frame '" + std::string(stripped) + "'");
-      }
-    } catch (const Error& e) {
-      // A malformed frame poisons the rest of the stream (framing is
-      // lost), so report and stop this connection.
-      Item item;
-      item.kind = Item::kReady;
-      item.response.id = "?";
-      item.response.status = "error";
-      item.response.error = e.what();
-      push(std::move(item));
-      failed = true;
-    }
-  }
-  push(Item{Item::kBye, {}, {}});
-  writer.join();
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  // A client vanishing mid-response must error that one stream, not
+  // SIGPIPE-kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
   Cli cli("specpart_server",
           "serve partitioning requests over stdio or TCP (see "
           "docs/SERVING.md)");
@@ -170,6 +51,11 @@ int main(int argc, char** argv) {
   cli.add_flag("threads", "0",
                "compute-kernel threads per request (0 = auto: "
                "$SPECPART_THREADS or hardware concurrency)");
+  cli.add_flag("idle-timeout", "0",
+               "TCP mode: close a connection after this many seconds "
+               "without a byte from the client (0 = never)");
+  cli.add_flag("max-payload-mb", "256",
+               "largest REQUEST payload accepted, in MiB");
   try {
     if (!cli.parse(argc, argv)) return 0;
     service::ServiceOptions opts;
@@ -181,12 +67,18 @@ int main(int argc, char** argv) {
     opts.deadline_seconds = cli.get_double("deadline");
     opts.parallel =
         ParallelConfig::with_threads(static_cast<std::size_t>(cli.get_int("threads")));
-    const bool reject = cli.get_bool("reject");
     service::PartitionService svc(opts);
+    service::ServiceBackend backend(svc);
+
+    service::ServeOptions serve;
+    serve.reject_when_full = cli.get_bool("reject");
+    serve.limits.max_payload_bytes =
+        static_cast<std::size_t>(cli.get_int("max-payload-mb")) << 20;
+    const double idle_timeout = cli.get_double("idle-timeout");
 
     const std::int64_t port = cli.get_int("port");
     if (port < 0) {
-      serve_stream(svc, std::cin, std::cout, reject);
+      service::serve_stream(backend, std::cin, std::cout, serve);
       return 0;
     }
     std::uint16_t bound = 0;
@@ -199,9 +91,13 @@ int main(int argc, char** argv) {
       const int conn = service::tcp_accept(listen_fd);
       service::FdStreamBuf in_buf(conn);
       service::FdStreamBuf out_buf(conn);
+      if (idle_timeout > 0.0)
+        in_buf.set_read_timeout(static_cast<int>(idle_timeout * 1000.0));
       std::istream conn_in(&in_buf);
       std::ostream conn_out(&out_buf);
-      serve_stream(svc, conn_in, conn_out, reject);
+      service::serve_stream(backend, conn_in, conn_out, serve);
+      if (in_buf.timed_out())
+        std::fprintf(stderr, "specpart_server: closed idle connection\n");
       service::fd_close(conn);
       if (once) break;
     }

@@ -85,7 +85,7 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
 
 std::vector<std::pair<std::string, double>> MetricsSnapshot::key_values()
     const {
-  return {
+  std::vector<std::pair<std::string, double>> kv = {
       {"requests_total", static_cast<double>(requests_total)},
       {"responses_ok", static_cast<double>(responses_ok)},
       {"responses_degraded", static_cast<double>(responses_degraded)},
@@ -107,6 +107,31 @@ std::vector<std::pair<std::string, double>> MetricsSnapshot::key_values()
       {"latency_p95_seconds", latency.quantile(0.95)},
       {"latency_p99_seconds", latency.quantile(0.99)},
   };
+  if (router.present) {
+    kv.emplace_back("router_requests", static_cast<double>(router.requests));
+    kv.emplace_back("router_failovers", static_cast<double>(router.failovers));
+    kv.emplace_back("router_local_fallbacks",
+                    static_cast<double>(router.local_fallbacks));
+    kv.emplace_back("router_retries", static_cast<double>(router.retries));
+    kv.emplace_back("router_shards_total",
+                    static_cast<double>(router.shards_total));
+    kv.emplace_back("router_shards_live",
+                    static_cast<double>(router.shards_live));
+    for (std::size_t i = 0; i < router.shards.size(); ++i) {
+      const RouterShardMetrics& s = router.shards[i];
+      const std::string prefix = strprintf("shard%zu_", i);
+      kv.emplace_back(prefix + "state", static_cast<double>(s.state));
+      kv.emplace_back(prefix + "requests", static_cast<double>(s.requests));
+      kv.emplace_back(prefix + "failures", static_cast<double>(s.failures));
+      kv.emplace_back(prefix + "retries", static_cast<double>(s.retries));
+      kv.emplace_back(prefix + "breaker_opens",
+                      static_cast<double>(s.breaker_opens));
+      kv.emplace_back(prefix + "pings_ok", static_cast<double>(s.pings_ok));
+      kv.emplace_back(prefix + "pings_failed",
+                      static_cast<double>(s.pings_failed));
+    }
+  }
+  return kv;
 }
 
 std::string MetricsSnapshot::render_text() const {
@@ -134,6 +159,32 @@ std::string MetricsSnapshot::render_text() const {
                    static_cast<unsigned long long>(latency.total),
                    1e3 * latency.mean(), 1e3 * latency.quantile(0.50),
                    1e3 * latency.quantile(0.95), 1e3 * latency.quantile(0.99));
+  if (router.present) {
+    out << strprintf(
+        "  router        requests=%llu failovers=%llu local_fallbacks=%llu "
+        "retries=%llu shards=%zu/%zu live\n",
+        static_cast<unsigned long long>(router.requests),
+        static_cast<unsigned long long>(router.failovers),
+        static_cast<unsigned long long>(router.local_fallbacks),
+        static_cast<unsigned long long>(router.retries), router.shards_live,
+        router.shards_total);
+    static const char* const kStateNames[] = {"closed", "open", "half_open"};
+    for (std::size_t i = 0; i < router.shards.size(); ++i) {
+      const RouterShardMetrics& s = router.shards[i];
+      const char* state =
+          s.state >= 0 && s.state <= 2 ? kStateNames[s.state] : "?";
+      out << strprintf(
+          "  shard%zu        %s state=%s requests=%llu failures=%llu "
+          "retries=%llu opens=%llu pings=%llu/%llu ok\n",
+          i, s.name.c_str(), state,
+          static_cast<unsigned long long>(s.requests),
+          static_cast<unsigned long long>(s.failures),
+          static_cast<unsigned long long>(s.retries),
+          static_cast<unsigned long long>(s.breaker_opens),
+          static_cast<unsigned long long>(s.pings_ok),
+          static_cast<unsigned long long>(s.pings_ok + s.pings_failed));
+    }
+  }
   return out.str();
 }
 

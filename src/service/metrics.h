@@ -55,9 +55,47 @@ class LatencyHistogram {
   std::atomic<std::uint64_t> sum_nanos_{0};
 };
 
+/// Per-shard health and traffic counters inside a router snapshot.
+struct RouterShardMetrics {
+  /// "host:port" of the backend.
+  std::string name;
+  /// Circuit-breaker state: 0 = closed, 1 = open, 2 = half-open
+  /// (service::ShardState values; kept as int so metrics.h does not
+  /// depend on client.h).
+  int state = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t pings_ok = 0;
+  std::uint64_t pings_failed = 0;
+};
+
+/// Router tier counters, aggregated into the same MetricsSnapshot the
+/// single-server METRICS frame renders. `present` is false for a plain
+/// PartitionService snapshot, and absent sections emit nothing — the
+/// non-router METRICS frame bytes are unchanged by this section existing.
+struct RouterMetricsSection {
+  bool present = false;
+  std::uint64_t requests = 0;
+  /// Requests re-routed past their primary shard (down, open breaker, or
+  /// retry budget exhausted there).
+  std::uint64_t failovers = 0;
+  /// Requests computed by the router's own degraded-deadline engine after
+  /// every shard was unavailable.
+  std::uint64_t local_fallbacks = 0;
+  /// Total shard-level resend attempts (sum over shards).
+  std::uint64_t retries = 0;
+  std::size_t shards_total = 0;
+  /// Shards whose breaker is not open.
+  std::size_t shards_live = 0;
+  std::vector<RouterShardMetrics> shards;
+};
+
 /// One consistent view of the service counters plus everything derived
 /// from them. Produced by ServiceMetrics::snapshot() (and enriched with
-/// cache stats by PartitionService::snapshot()).
+/// cache stats by PartitionService::snapshot(), and with the router
+/// section by ShardRouter::snapshot()).
 struct MetricsSnapshot {
   std::uint64_t requests_total = 0;
   std::uint64_t responses_ok = 0;
@@ -76,6 +114,9 @@ struct MetricsSnapshot {
   std::size_t cache_bytes = 0;
   std::size_t cache_entries = 0;
   double cache_hit_rate = 0.0;
+
+  /// Router tier (present only in ShardRouter snapshots).
+  RouterMetricsSection router;
 
   LatencyHistogram::Snapshot latency;
 

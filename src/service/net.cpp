@@ -1,8 +1,10 @@
 #include "service/net.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -18,6 +20,16 @@ namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw Error(what + ": " + std::strerror(errno));
+}
+
+/// Resolves the loopback-friendly host spellings to a dotted quad.
+std::string resolve_host(const std::string& host) {
+  return host.empty() || host == "localhost" ? "127.0.0.1" : host;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 }  // namespace
@@ -55,8 +67,7 @@ int tcp_accept(int listen_fd) {
   for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd >= 0) {
-      const int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      set_nodelay(fd);
       return fd;
     }
     if (errno == EINTR) continue;
@@ -65,25 +76,65 @@ int tcp_accept(int listen_fd) {
 }
 
 int tcp_connect(const std::string& host, std::uint16_t port) {
+  return tcp_connect_timeout(host, port, -1);
+}
+
+int tcp_connect_timeout(const std::string& host, std::uint16_t port,
+                        int timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  const std::string resolved =
-      host.empty() || host == "localhost" ? "127.0.0.1" : host;
+  const std::string resolved = resolve_host(host);
   if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
     fd_close(fd);
     throw Error("tcp_connect: cannot parse host '" + host +
                 "' (use a dotted-quad IPv4 address or 'localhost')");
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
     fd_close(fd);
-    throw_errno(strprintf("connect to %s:%u", resolved.c_str(),
-                          static_cast<unsigned>(port)));
+    throw_errno("fcntl(O_NONBLOCK)");
   }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const std::string target =
+      strprintf("%s:%u", resolved.c_str(), static_cast<unsigned>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) {
+      fd_close(fd);
+      throw_errno("connect to " + target);
+    }
+    // Await completion of the in-flight connect under the deadline.
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    int rc;
+    do {
+      rc = ::poll(&p, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      fd_close(fd);
+      throw_errno("poll(connect to " + target + ")");
+    }
+    if (rc == 0) {
+      fd_close(fd);
+      throw Error(strprintf("connect to %s: timed out after %d ms",
+                            target.c_str(), timeout_ms));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      fd_close(fd);
+      throw Error("connect to " + target + ": " +
+                  std::strerror(err != 0 ? err : errno));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    fd_close(fd);
+    throw_errno("fcntl(restore flags)");
+  }
+  set_nodelay(fd);
   return fd;
 }
 
@@ -91,14 +142,37 @@ void fd_close(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
+void fd_shutdown(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
 FdStreamBuf::FdStreamBuf(int fd) : fd_(fd) {
   setg(rbuf_, rbuf_, rbuf_);
   setp(wbuf_, wbuf_ + kBufSize);
 }
 
+bool FdStreamBuf::wait_ready(short events, int timeout_ms) {
+  if (timeout_ms < 0) return true;
+  pollfd p{};
+  p.fd = fd_;
+  p.events = events;
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;  // ready, hung up, or errored: let the
+                              // syscall report the condition
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    return true;  // poll itself failed; fall through to the syscall
+  }
+}
+
 FdStreamBuf::int_type FdStreamBuf::underflow() {
   if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
   for (;;) {
+    if (!wait_ready(POLLIN, read_timeout_ms_)) {
+      timed_out_ = true;
+      return traits_type::eof();
+    }
     const ssize_t n = ::read(fd_, rbuf_, kBufSize);
     if (n > 0) {
       setg(rbuf_, rbuf_, rbuf_ + n);
@@ -112,13 +186,29 @@ FdStreamBuf::int_type FdStreamBuf::underflow() {
 
 bool FdStreamBuf::flush_write() {
   const char* p = pbase();
+  // Loop partial transfers: a short send/write must not truncate the
+  // frame, and a gone peer must surface as a stream error, not SIGPIPE.
   while (p < pptr()) {
-    const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+    if (!wait_ready(POLLOUT, write_timeout_ms_)) {
+      timed_out_ = true;
+      return false;
+    }
+    const std::size_t len = static_cast<std::size_t>(pptr() - p);
+    ssize_t n;
+    if (!not_socket_) {
+      n = ::send(fd_, p, len, MSG_NOSIGNAL);
+      if (n < 0 && errno == ENOTSOCK) {
+        not_socket_ = true;
+        continue;
+      }
+    } else {
+      n = ::write(fd_, p, len);
+    }
     if (n > 0) {
       p += n;
       continue;
     }
-    if (errno == EINTR) continue;
+    if (n < 0 && errno == EINTR) continue;
     return false;
   }
   setp(wbuf_, wbuf_ + kBufSize);

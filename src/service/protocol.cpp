@@ -117,7 +117,8 @@ void write_request(const PartitionRequest& req, std::ostream& out) {
 }
 
 PartitionRequest parse_request(const std::string& header_line,
-                               std::istream& in) {
+                               std::istream& in,
+                               const ProtocolLimits& limits) {
   PartitionRequest req;
   core::PipelineConfig& p = req.pipeline;
   std::size_t graph_lines = 0;
@@ -171,6 +172,12 @@ PartitionRequest parse_request(const std::string& header_line,
   SP_CHECK_INPUT(have_graph_lines,
                  "protocol: REQUEST is missing the graph_lines field");
   SP_CHECK_INPUT(req.k >= 2, "protocol: k must be >= 2");
+  // Reject an absurd announced size before committing to read it — the
+  // header alone must not be able to make the server loop over terabytes.
+  if (graph_lines > limits.max_graph_lines)
+    throw Error(strprintf(
+        "bad_request: graph_lines=%zu exceeds the %zu-line payload limit",
+        graph_lines, limits.max_graph_lines));
 
   std::string payload;
   std::string line;
@@ -181,6 +188,10 @@ PartitionRequest parse_request(const std::string& header_line,
                        std::to_string(graph_lines) + " lines)");
     payload += line;
     payload += '\n';
+    if (payload.size() > limits.max_payload_bytes)
+      throw Error(strprintf(
+          "bad_request: request payload exceeds the %zu-byte limit",
+          limits.max_payload_bytes));
   }
   std::istringstream graph_in(payload);
   req.graph = graph::read_hgr(graph_in);
@@ -188,10 +199,11 @@ PartitionRequest parse_request(const std::string& header_line,
   return req;
 }
 
-std::optional<PartitionRequest> read_request(std::istream& in) {
+std::optional<PartitionRequest> read_request(std::istream& in,
+                                             const ProtocolLimits& limits) {
   const std::optional<std::string> header = next_content_line(in);
   if (!header) return std::nullopt;
-  return parse_request(*header, in);
+  return parse_request(*header, in, limits);
 }
 
 void write_response(const PartitionResponse& resp, std::ostream& out) {

@@ -47,6 +47,19 @@
 
 namespace specpart::service {
 
+/// Parse-side resource limits: a REQUEST frame announcing (or streaming)
+/// more than this is rejected with a structured `bad_request:` Error
+/// *before* the parser commits to reading unbounded bytes — an
+/// announced-but-absurd graph_lines fails immediately, and an oversized
+/// payload fails as soon as the running byte count crosses the budget
+/// (bounded by one line of overshoot, since frames are line-delimited).
+struct ProtocolLimits {
+  /// Max lines a REQUEST's .hgr payload may announce.
+  std::size_t max_graph_lines = 4'000'000;
+  /// Max total bytes of the .hgr payload.
+  std::size_t max_payload_bytes = 256ull << 20;
+};
+
 /// One partitioning job: the hypergraph payload plus the shared pipeline
 /// knobs (core::PipelineConfig — the same struct the CLI drivers consume,
 /// so the service and netlist_tool cannot drift apart).
@@ -87,14 +100,17 @@ void write_request(const PartitionRequest& req, std::ostream& out);
 
 /// Parses a request frame given its already-read header line; consumes the
 /// graph payload and the END line from `in`. Throws specpart::Error on
-/// malformed input.
+/// malformed input; limit violations throw with a `bad_request:` prefix
+/// without consuming the oversized payload.
 PartitionRequest parse_request(const std::string& header_line,
-                               std::istream& in);
+                               std::istream& in,
+                               const ProtocolLimits& limits = {});
 
 /// Reads the next request frame, skipping blank lines. Returns nullopt at
 /// EOF. Throws specpart::Error when the stream holds a non-REQUEST frame
 /// (use the server loop for control lines).
-std::optional<PartitionRequest> read_request(std::istream& in);
+std::optional<PartitionRequest> read_request(std::istream& in,
+                                             const ProtocolLimits& limits = {});
 
 /// Serializes one response frame (RESPONSE header [+ ASSIGN] + END).
 void write_response(const PartitionResponse& resp, std::ostream& out);

@@ -1,0 +1,161 @@
+#include "service/router.h"
+
+#include <algorithm>
+
+#include "core/pipeline_config.h"
+#include "util/status.h"
+
+namespace specpart::service {
+
+HashRing::HashRing(std::size_t num_shards, std::size_t vnodes)
+    : num_shards_(num_shards) {
+  points_.reserve(num_shards * vnodes);
+  for (std::size_t shard = 0; shard < num_shards; ++shard) {
+    for (std::size_t replica = 0; replica < vnodes; ++replica) {
+      Hasher h;
+      h.mix_string("specpart.ring.v1");
+      h.mix_size(shard);
+      h.mix_size(replica);
+      points_.emplace_back(h.digest().lo, shard);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::vector<std::size_t> HashRing::route(std::uint64_t point) const {
+  std::vector<std::size_t> order;
+  if (points_.empty()) return order;
+  order.reserve(num_shards_);
+  std::vector<bool> seen(num_shards_, false);
+  // First point at or after `point`, wrapping around the ring.
+  std::size_t start =
+      static_cast<std::size_t>(
+          std::lower_bound(points_.begin(), points_.end(),
+                           std::make_pair(point, std::size_t{0})) -
+          points_.begin()) %
+      points_.size();
+  for (std::size_t i = 0; i < points_.size() && order.size() < num_shards_;
+       ++i) {
+    const std::size_t shard = points_[(start + i) % points_.size()].second;
+    if (!seen[shard]) {
+      seen[shard] = true;
+      order.push_back(shard);
+    }
+  }
+  return order;
+}
+
+std::size_t HashRing::primary(std::uint64_t point) const {
+  return route(point).front();
+}
+
+Fingerprint routing_key(const PartitionRequest& req) {
+  Hasher h;
+  h.mix_string("specpart.route.v1");
+  h.mix_string(core::net_model_token(req.pipeline.net_model));
+  const graph::Hypergraph& g = req.graph;
+  h.mix_size(g.num_nodes());
+  h.mix_size(g.num_nets());
+  for (graph::NetId e = 0; e < g.num_nets(); ++e) {
+    h.mix_span(g.net(e));
+    h.mix_double(g.net_weight(e));
+  }
+  return h.digest();
+}
+
+namespace {
+
+ServiceOptions local_options(const RouterOptions& opts) {
+  ServiceOptions local = opts.local;
+  local.deadline_seconds = opts.local_deadline_seconds;
+  return local;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(RouterOptions opts)
+    : opts_(std::move(opts)),
+      ring_(opts_.shards.size(), std::max<std::size_t>(1, opts_.vnodes)),
+      local_(local_options(opts_)) {
+  shards_.reserve(opts_.shards.size());
+  for (const ShardClientOptions& shard_opts : opts_.shards)
+    shards_.push_back(std::make_unique<ShardClient>(shard_opts));
+  if (opts_.health_interval_seconds > 0.0 && !shards_.empty())
+    health_thread_ = std::thread([this] { health_loop(); });
+}
+
+ShardRouter::~ShardRouter() {
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    stopping_ = true;
+  }
+  health_cv_.notify_all();
+  if (health_thread_.joinable()) health_thread_.join();
+}
+
+void ShardRouter::health_loop() {
+  std::unique_lock<std::mutex> lock(health_mutex_);
+  const auto interval =
+      std::chrono::duration<double>(opts_.health_interval_seconds);
+  while (!stopping_) {
+    if (health_cv_.wait_for(lock, interval, [this] { return stopping_; }))
+      break;
+    lock.unlock();
+    for (const std::unique_ptr<ShardClient>& shard : shards_) shard->ping();
+    lock.lock();
+  }
+}
+
+PartitionResponse ShardRouter::route(const PartitionRequest& req) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!shards_.empty()) {
+    const Fingerprint key = routing_key(req);
+    const std::vector<std::size_t> order = ring_.route(key.hi ^ key.lo);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      // Moving past the primary is a failover, whether the shard failed
+      // its attempts or was skipped by an open breaker.
+      if (i > 0) failovers_.fetch_add(1, std::memory_order_relaxed);
+      if (std::optional<PartitionResponse> resp = shards_[order[i]]->call(req))
+        return *resp;
+    }
+  }
+  // Every shard unavailable (or none configured): degrade, never abort.
+  // The local engine computes under its own (degraded) deadline; the
+  // recovery is visible as a router_local_fallback diagnostics stage and
+  // in the aggregated metrics, never in the response bytes.
+  local_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  Diagnostics diag;
+  StageTimerScope scope(&diag, "router_local_fallback");
+  diag.fallback("router_local_fallback",
+                "all shards unavailable or retry budget exhausted; "
+                "computing locally under a degraded deadline");
+  return local_.execute(req, &diag);
+}
+
+MetricsSnapshot ShardRouter::snapshot() const {
+  MetricsSnapshot s = local_.snapshot();
+  s.router.present = true;
+  s.router.requests = requests_.load(std::memory_order_relaxed);
+  s.router.failovers = failovers_.load(std::memory_order_relaxed);
+  s.router.local_fallbacks = local_fallbacks_.load(std::memory_order_relaxed);
+  s.router.shards_total = shards_.size();
+  for (const std::unique_ptr<ShardClient>& shard : shards_) {
+    RouterShardMetrics m;
+    m.name = shard->name();
+    m.state = static_cast<int>(shard->state());
+    const ShardClientStats st = shard->stats();
+    m.requests = st.requests;
+    m.failures = st.failures;
+    m.retries = st.retries;
+    m.breaker_opens = st.breaker_opens;
+    m.pings_ok = st.pings_ok;
+    m.pings_failed = st.pings_failed;
+    s.router.retries += st.retries;
+    if (m.state != static_cast<int>(ShardState::kOpen))
+      ++s.router.shards_live;
+    s.router.shards.push_back(std::move(m));
+  }
+  return s;
+}
+
+}  // namespace specpart::service

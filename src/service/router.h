@@ -1,0 +1,131 @@
+// ShardRouter: the fault-tolerant front tier over N specpart_server
+// backends.
+//
+// Placement. Each request is fingerprinted by its *netlist content* (pins,
+// net weights, net model — the same 128-bit splitmix64 construction the
+// embedding cache keys on, util/hashing.h) and placed on a consistent-hash
+// ring of virtual nodes. Same netlist -> same shard, so each shard's
+// embedding cache stays hot for its slice of the keyspace; adding or
+// losing a shard only remaps the ring segments it owned.
+//
+// Failure handling, in escalation order:
+//   1. ShardClient retry: bounded resends with exponential backoff +
+//      jitter against the primary shard (client.h).
+//   2. Hash-ring failover: a shard that is down (breaker open) or
+//      exhausted its retry budget is skipped and the request walks the
+//      ring to the next live shard. The pipeline is deterministic, so the
+//      response is byte-identical no matter which shard computes it.
+//   3. Local fallback: when every shard is unavailable the router computes
+//      the request itself under a degraded ComputeBudget deadline,
+//      recorded as a `router_local_fallback` diagnostics stage and counted
+//      in the aggregated metrics. Degrade, never abort.
+//
+// Health. Besides the passive per-attempt failure accounting, an optional
+// health thread PINGs every shard each interval; a successful PING against
+// an open breaker closes it (the half-open probe, done proactively), so a
+// restarted shard rejoins the ring within one interval.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+#include "service/service.h"
+#include "util/hashing.h"
+
+namespace specpart::service {
+
+/// Consistent-hash ring over shard indices. Each shard owns `vnodes`
+/// pseudo-random points on a 64-bit ring; a key is served by the shard
+/// owning the first point at or after it (wrapping), and its failover
+/// order is the remaining shards in ring-walk order.
+class HashRing {
+ public:
+  HashRing() = default;
+  HashRing(std::size_t num_shards, std::size_t vnodes);
+
+  /// All distinct shard indices in ring-walk order from `point`: the
+  /// primary first, then the failover sequence. Empty for an empty ring.
+  std::vector<std::size_t> route(std::uint64_t point) const;
+
+  /// The primary shard for `point` (ring must be non-empty).
+  std::size_t primary(std::uint64_t point) const;
+
+  std::size_t num_shards() const { return num_shards_; }
+
+ private:
+  std::size_t num_shards_ = 0;
+  /// (ring point, shard index), sorted by point.
+  std::vector<std::pair<std::uint64_t, std::size_t>> points_;
+};
+
+/// Content-based routing key: fingerprint of the netlist (pins + weights)
+/// and the net model — deliberately NOT of k, balance, scaling or d, so
+/// every variation over one netlist lands on the same shard's warm cache
+/// (mirroring what the embedding-cache key ignores).
+Fingerprint routing_key(const PartitionRequest& req);
+
+struct RouterOptions {
+  /// One entry per backend shard.
+  std::vector<ShardClientOptions> shards;
+  /// Virtual nodes per shard on the hash ring.
+  std::size_t vnodes = 64;
+  /// Active health-check period in seconds (0 disables the thread;
+  /// passive failure accounting still runs).
+  double health_interval_seconds = 0.0;
+  /// Degraded deadline for local fallback computes (0 = unlimited).
+  double local_deadline_seconds = 30.0;
+  /// The local fallback engine (its deadline_seconds is overridden by
+  /// local_deadline_seconds).
+  ServiceOptions local;
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(RouterOptions opts);
+
+  /// Stops the health thread and disconnects every shard.
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Routes one request: primary shard -> ring failover -> local fallback.
+  /// Never throws for shard unavailability; an `error` response only
+  /// reflects a problem with the request itself.
+  PartitionResponse route(const PartitionRequest& req);
+
+  /// Aggregated tier metrics: the local fallback engine's counters plus
+  /// the router section (failovers, fallbacks, per-shard breaker state).
+  MetricsSnapshot snapshot() const;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  ShardClient& shard(std::size_t i) { return *shards_[i]; }
+  PartitionService& local_service() { return local_; }
+  const RouterOptions& options() const { return opts_; }
+
+ private:
+  void health_loop();
+
+  RouterOptions opts_;
+  std::vector<std::unique_ptr<ShardClient>> shards_;
+  HashRing ring_;
+  /// Local fallback engine (also the source of the base MetricsSnapshot).
+  PartitionService local_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> local_fallbacks_{0};
+
+  std::mutex health_mutex_;
+  std::condition_variable health_cv_;
+  bool stopping_ = false;
+  std::thread health_thread_;
+};
+
+}  // namespace specpart::service

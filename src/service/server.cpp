@@ -1,0 +1,243 @@
+#include "service/server.h"
+
+#include <condition_variable>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "service/net.h"
+#include "service/router.h"
+#include "util/error.h"
+#include "util/stringutil.h"
+
+namespace specpart::service {
+
+std::future<PartitionResponse> ServiceBackend::submit(PartitionRequest req) {
+  return svc_.submit(std::move(req));
+}
+
+bool ServiceBackend::try_submit(PartitionRequest req,
+                                std::future<PartitionResponse>& out) {
+  return svc_.try_submit(std::move(req), out);
+}
+
+MetricsSnapshot ServiceBackend::metrics() { return svc_.snapshot(); }
+
+std::future<PartitionResponse> RouterBackend::submit(PartitionRequest req) {
+  // Deferred: route() runs when the writer thread calls future.get(), so
+  // the reader keeps parsing while earlier requests are in flight and
+  // responses still leave in FIFO order.
+  return std::async(std::launch::deferred,
+                    [this, r = std::move(req)] { return router_.route(r); });
+}
+
+bool RouterBackend::try_submit(PartitionRequest req,
+                               std::future<PartitionResponse>& out) {
+  out = submit(std::move(req));
+  return true;
+}
+
+MetricsSnapshot RouterBackend::metrics() { return router_.snapshot(); }
+
+void write_metrics_frame(const MetricsSnapshot& snap, std::ostream& out) {
+  out << "METRICS\n";
+  for (const auto& [key, value] : snap.key_values())
+    out << "METRIC " << key << strprintf(" %.17g", value) << '\n';
+  out << "END\n";
+}
+
+void serve_stream(StreamBackend& backend, std::istream& in, std::ostream& out,
+                  const ServeOptions& opts) {
+  struct Item {
+    enum Kind { kResponse, kReady, kPong, kMetrics, kBye } kind;
+    std::future<PartitionResponse> future;  // kResponse
+    PartitionResponse response;             // kReady
+  };
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Item> items;
+  const auto push = [&](Item item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      items.push_back(std::move(item));
+    }
+    cv.notify_one();
+  };
+  // The reader (below) parses frames and enqueues work; this writer emits
+  // each response as soon as its future resolves. The split matters: a
+  // pipelining client only sends more requests after it reads responses,
+  // so a server that writes only between reads deadlocks once the
+  // client's window fills. The queue preserves request order, so clients
+  // still read responses strictly FIFO.
+  std::thread writer([&] {
+    for (;;) {
+      Item item;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return !items.empty(); });
+        item = std::move(items.front());
+        items.pop_front();
+      }
+      switch (item.kind) {
+        case Item::kResponse:
+          write_response(item.future.get(), out);
+          break;
+        case Item::kReady:
+          write_response(item.response, out);
+          break;
+        case Item::kPong:
+          out << "PONG\n";
+          break;
+        case Item::kMetrics:
+          // Snapshot here, after all earlier responses went out, so the
+          // frame reflects at least everything the client has seen.
+          write_metrics_frame(backend.metrics(), out);
+          break;
+        case Item::kBye:
+          out << "BYE\n";
+          out.flush();
+          return;
+      }
+      out.flush();
+    }
+  });
+
+  std::string line;
+  bool failed = false;
+  while (!failed && std::getline(in, line)) {
+    const std::string_view stripped = trim(line);
+    if (stripped.empty()) continue;
+    try {
+      if (starts_with(stripped, "REQUEST")) {
+        PartitionRequest req = parse_request(line, in, opts.limits);
+        Item item;
+        if (opts.reject_when_full) {
+          // Saved before the move: try_submit consumes the request even
+          // when it rejects.
+          std::string req_id = req.id;
+          if (backend.try_submit(std::move(req), item.future)) {
+            item.kind = Item::kResponse;
+          } else {
+            // Admission control: the rejection is itself an error
+            // response, so clients see *why* instead of a stall.
+            item.kind = Item::kReady;
+            item.response.id = std::move(req_id);
+            item.response.status = "error";
+            item.response.error = "rejected: queue full";
+          }
+        } else {
+          item.kind = Item::kResponse;
+          item.future = backend.submit(std::move(req));  // backpressure
+        }
+        push(std::move(item));
+      } else if (stripped == "PING") {
+        push(Item{Item::kPong, {}, {}});
+      } else if (stripped == "METRICS") {
+        push(Item{Item::kMetrics, {}, {}});
+      } else if (stripped == "QUIT") {
+        break;
+      } else {
+        throw Error("unknown frame '" + std::string(stripped) + "'");
+      }
+    } catch (const Error& e) {
+      // A malformed frame poisons the rest of the stream (framing is
+      // lost), so report and stop this connection. Every parse-level
+      // failure — truncated payload, oversized payload, garbage frame —
+      // is surfaced under the one structured bad_request token.
+      Item item;
+      item.kind = Item::kReady;
+      item.response.id = "?";
+      item.response.status = "error";
+      item.response.error = starts_with(e.what(), "bad_request")
+                                ? e.what()
+                                : std::string("bad_request: ") + e.what();
+      push(std::move(item));
+      failed = true;
+    }
+  }
+  push(Item{Item::kBye, {}, {}});
+  writer.join();
+}
+
+ShardServer::ShardServer(ShardServerOptions opts)
+    : opts_(std::move(opts)), svc_(opts_.service) {
+  listen_fd_ = tcp_listen(0, &port_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+ShardServer::~ShardServer() { stop(); }
+
+void ShardServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int fd = -1;
+    try {
+      fd = tcp_accept(listen_fd_);
+    } catch (const Error&) {
+      // Listener shut down (stop()/kill()) or otherwise dead: done.
+      return;
+    }
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      // Lost the race with kill(): this fd was accepted after the sever
+      // pass, so sever it ourselves instead of serving it.
+      fd_shutdown(fd);
+      fd_close(fd);
+      return;
+    }
+    const std::size_t slot = conn_fds_.size();
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back(
+        [this, fd, slot] { serve_connection(fd, slot); });
+  }
+}
+
+void ShardServer::serve_connection(int fd, std::size_t slot) {
+  {
+    FdStreamBuf in_buf(fd);
+    FdStreamBuf out_buf(fd);
+    if (opts_.idle_timeout_seconds > 0.0)
+      in_buf.set_read_timeout(
+          static_cast<int>(opts_.idle_timeout_seconds * 1000.0));
+    std::istream in(&in_buf);
+    std::ostream out(&out_buf);
+    ServiceBackend backend(svc_);
+    try {
+      serve_stream(backend, in, out, opts_.serve);
+    } catch (const Error&) {
+      // Connection-level failure; drop the connection, keep the server.
+    }
+  }
+  // Deregister before closing so kill() can never shut down a recycled
+  // fd number.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_fds_[slot] = -1;
+  }
+  fd_close(fd);
+}
+
+void ShardServer::kill() {
+  stopping_.store(true, std::memory_order_relaxed);
+  fd_shutdown(listen_fd_);
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  for (const int fd : conn_fds_)
+    if (fd >= 0) fd_shutdown(fd);
+}
+
+void ShardServer::stop() {
+  kill();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // No new connection threads can appear now; join what's left.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  fd_close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+}  // namespace specpart::service

@@ -1,0 +1,149 @@
+// The reusable serving loop behind specpart_server and specpart_router,
+// plus an in-process TCP shard server for tests and the multi-shard
+// loadgen.
+//
+// serve_stream() speaks the wire protocol (protocol.h) over any iostream
+// pair: REQUEST frames are admitted through a StreamBackend, control lines
+// (PING / METRICS / QUIT) are answered in order, and a dedicated writer
+// thread emits each response as soon as it is ready so pipelining clients
+// cannot deadlock the reader. Malformed or over-limit frames get a
+// structured `bad_request:` error response before the connection closes
+// (framing is lost after garbage, so closing is the only safe move).
+//
+// ShardServer binds a PartitionService to a kernel-assigned TCP port with
+// an accept loop, one serve_stream per connection. kill() is the
+// fault-injection hammer: it severs the listener AND every active
+// connection without draining, exactly what a crashed shard looks like to
+// a router.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace specpart::service {
+
+class ShardRouter;
+
+/// What a serving loop does with an admitted request: PartitionService
+/// (queue + workers) for specpart_server, ShardRouter for specpart_router.
+class StreamBackend {
+ public:
+  virtual ~StreamBackend() = default;
+
+  /// Accepts one request; may exert backpressure by blocking. The future
+  /// resolves to the response (responses are written in submission order).
+  virtual std::future<PartitionResponse> submit(PartitionRequest req) = 0;
+
+  /// Non-blocking admission; false on rejection (queue full).
+  virtual bool try_submit(PartitionRequest req,
+                          std::future<PartitionResponse>& out) = 0;
+
+  /// Snapshot rendered into the METRICS frame.
+  virtual MetricsSnapshot metrics() = 0;
+};
+
+/// StreamBackend over a PartitionService.
+class ServiceBackend : public StreamBackend {
+ public:
+  explicit ServiceBackend(PartitionService& svc) : svc_(svc) {}
+  std::future<PartitionResponse> submit(PartitionRequest req) override;
+  bool try_submit(PartitionRequest req,
+                  std::future<PartitionResponse>& out) override;
+  MetricsSnapshot metrics() override;
+
+ private:
+  PartitionService& svc_;
+};
+
+/// StreamBackend over a ShardRouter. Routing runs lazily on the writer
+/// thread (deferred future), which keeps the reader free to parse frames
+/// while preserving FIFO response order; the router never rejects.
+class RouterBackend : public StreamBackend {
+ public:
+  explicit RouterBackend(ShardRouter& router) : router_(router) {}
+  std::future<PartitionResponse> submit(PartitionRequest req) override;
+  bool try_submit(PartitionRequest req,
+                  std::future<PartitionResponse>& out) override;
+  MetricsSnapshot metrics() override;
+
+ private:
+  ShardRouter& router_;
+};
+
+struct ServeOptions {
+  /// true: a full queue yields an immediate `rejected: queue full` error
+  /// response; false: the reader blocks (backpressure).
+  bool reject_when_full = true;
+  /// Parse-side payload limits (see protocol.h).
+  ProtocolLimits limits;
+};
+
+/// Serves one connection's byte streams until EOF, QUIT, or a poisoned
+/// frame. See file comment for the reader/writer split.
+void serve_stream(StreamBackend& backend, std::istream& in, std::ostream& out,
+                  const ServeOptions& opts = {});
+
+/// Renders a METRICS control frame (METRIC key value lines + END).
+void write_metrics_frame(const MetricsSnapshot& snap, std::ostream& out);
+
+struct ShardServerOptions {
+  ServiceOptions service;
+  ServeOptions serve;
+  /// Per-connection idle read deadline in seconds (0 = none): a client
+  /// that stalls mid-stream for longer has its connection closed and its
+  /// reader thread released.
+  double idle_timeout_seconds = 0.0;
+};
+
+/// An in-process specpart_server: PartitionService + TCP accept loop on a
+/// kernel-assigned port. Used by the multi-shard loadgen and the router
+/// tests; the standalone binary wires the same pieces by hand for stdio
+/// support.
+class ShardServer {
+ public:
+  explicit ShardServer(ShardServerOptions opts = {});
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  PartitionService& service() { return svc_; }
+
+  /// Graceful stop: stops accepting, severs remaining connections, joins.
+  void stop();
+
+  /// Crash simulation: severs the listener and every active connection
+  /// immediately (no drain), so in-flight peers see mid-stream resets.
+  /// The object stays joinable; stop()/destruction cleans up.
+  void kill();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd, std::size_t slot);
+
+  ShardServerOptions opts_;
+  PartitionService svc_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mutex_;
+  /// Active connection fds by slot; -1 once the serving thread is done
+  /// with (and has closed) the fd. Append-only, so kill() can sever every
+  /// live connection without racing fd reuse.
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  std::thread accept_thread_;
+};
+
+}  // namespace specpart::service

@@ -32,10 +32,11 @@ void PartitionService::shutdown() {
   for (std::thread& t : workers_) t.join();
 }
 
-PartitionResponse PartitionService::execute(const PartitionRequest& req) {
+PartitionResponse PartitionService::execute(const PartitionRequest& req,
+                                            Diagnostics* diag) {
   metrics_.on_submitted();
   const auto start = std::chrono::steady_clock::now();
-  PartitionResponse resp = execute_internal(req);
+  PartitionResponse resp = execute_internal(req, diag);
   metrics_.on_completed(
       resp.status,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -102,7 +103,7 @@ void PartitionService::worker_loop() {
 }
 
 PartitionResponse PartitionService::execute_internal(
-    const PartitionRequest& req) {
+    const PartitionRequest& req, Diagnostics* external_diag) {
   PartitionResponse resp;
   resp.id = req.id;
   resp.k = req.k;
@@ -113,7 +114,8 @@ PartitionResponse PartitionService::execute_internal(
     SP_CHECK_INPUT(req.k <= req.graph.num_nodes(),
                    "request k exceeds the vertex count");
 
-    Diagnostics diag;
+    Diagnostics local_diag;
+    Diagnostics& diag = external_diag != nullptr ? *external_diag : local_diag;
     ComputeBudget budget;
     core::MeloOptions m;
     static_cast<core::PipelineConfig&>(m) = req.pipeline;

@@ -76,7 +76,11 @@ class PartitionService {
   /// Synchronous execution on the calling thread, bypassing the queue but
   /// sharing the cache and metrics. This is what `netlist_tool --json`
   /// uses, which is why CLI output and service responses cannot diverge.
-  PartitionResponse execute(const PartitionRequest& req);
+  /// `diag` (optional) receives the run's diagnostics — the router uses it
+  /// to record the `router_local_fallback` stage; diagnostics never alter
+  /// the response bytes.
+  PartitionResponse execute(const PartitionRequest& req,
+                            Diagnostics* diag = nullptr);
 
   /// Asynchronous execution through the bounded queue. Blocks while the
   /// queue is full (backpressure). Throws specpart::Error after shutdown.
@@ -106,7 +110,8 @@ class PartitionService {
   };
 
   void worker_loop();
-  PartitionResponse execute_internal(const PartitionRequest& req);
+  PartitionResponse execute_internal(const PartitionRequest& req,
+                                     Diagnostics* external_diag = nullptr);
   std::future<PartitionResponse> enqueue_locked(PartitionRequest&& req,
                                                 std::unique_lock<std::mutex>& lock);
 

@@ -3,6 +3,7 @@
 #ifdef SPECPART_FAULT_INJECTION
 
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace specpart::fault {
@@ -14,8 +15,15 @@ struct PointState {
   std::size_t triggered = 0;  // fires since the last reset()
 };
 
-// Single registry, no locking: fault injection is a test-only facility and
-// the test harness drives the pipelines from one thread.
+// Single registry behind a mutex: the network fault points (net.*) are
+// queried from shard-client and health-check threads concurrently with the
+// test thread arming them, so lock-free access would race. Fault injection
+// is test-only and off the hot path, so a plain mutex is fine.
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
 std::map<std::string, PointState>& registry() {
   static std::map<std::string, PointState> points;
   return points;
@@ -24,12 +32,17 @@ std::map<std::string, PointState>& registry() {
 }  // namespace
 
 void arm(std::string_view point, std::size_t count) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
   registry()[std::string(point)].armed = count;
 }
 
-void reset() { registry().clear(); }
+void reset() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().clear();
+}
 
 bool fires(std::string_view point) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
   auto it = registry().find(std::string(point));
   if (it == registry().end() || it->second.armed == 0) return false;
   --it->second.armed;
@@ -38,6 +51,7 @@ bool fires(std::string_view point) {
 }
 
 std::size_t triggered(std::string_view point) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
   auto it = registry().find(std::string(point));
   return it == registry().end() ? 0 : it->second.triggered;
 }

@@ -16,6 +16,7 @@
 #include "service/cache.h"
 #include "service/metrics.h"
 #include "service/protocol.h"
+#include "service/server.h"
 #include "service/service.h"
 #include "util/error.h"
 #include "util/hashing.h"
@@ -576,6 +577,111 @@ TEST(Protocol, UnknownSolverTokenIsStructuredBadRequest) {
     EXPECT_NE(msg.find("bad_request"), std::string::npos) << msg;
     EXPECT_NE(msg.find("qr_iteration"), std::string::npos) << msg;
   }
+}
+
+TEST(Protocol, AbsurdAnnouncedPayloadIsRejectedBeforeReading) {
+  // The header alone must not make the server loop over terabytes: an
+  // announced graph_lines past the limit fails before any payload read.
+  ProtocolLimits limits;
+  limits.max_graph_lines = 100;
+  std::istringstream in("REQUEST id=x graph_lines=101\n");
+  try {
+    read_request(in, limits);
+    FAIL() << "oversized announcement must be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad_request"), std::string::npos)
+        << e.what();
+  }
+  // At the limit, the (truncated) payload is at least attempted.
+  std::istringstream ok_header("REQUEST id=x graph_lines=100\n");
+  try {
+    read_request(ok_header, limits);
+    FAIL() << "truncated payload must still throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()).find("graph_lines=100 exceeds"),
+              std::string::npos);
+  }
+}
+
+TEST(Protocol, OversizedStreamedPayloadIsRejectedMidRead) {
+  ProtocolLimits limits;
+  limits.max_payload_bytes = 64;
+  std::ostringstream frame;
+  frame << "REQUEST id=x graph_lines=4\n";
+  frame << "2 4\n";
+  for (int i = 0; i < 3; ++i)
+    frame << std::string(40, '1') << "\n";  // blows the 64-byte budget
+  frame << "END\n";
+  std::istringstream in(frame.str());
+  try {
+    read_request(in, limits);
+    FAIL() << "oversized payload must be rejected";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bad_request"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("64-byte limit"), std::string::npos) << msg;
+  }
+}
+
+TEST(Protocol, DefaultLimitsAdmitNormalRequests) {
+  const PartitionRequest req = make_request();
+  std::ostringstream frame;
+  write_request(req, frame);
+  std::istringstream in(frame.str());
+  const std::optional<PartitionRequest> parsed = read_request(in);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->graph.num_nodes(), req.graph.num_nodes());
+}
+
+/// Runs one client script through the shared serving loop and returns the
+/// server's byte output.
+std::string serve_script(const std::string& script,
+                         const ServeOptions& opts = {}) {
+  PartitionService svc;
+  ServiceBackend backend(svc);
+  std::istringstream in(script);
+  std::ostringstream out;
+  serve_stream(backend, in, out, opts);
+  return out.str();
+}
+
+TEST(ServeStream, GarbageFrameGetsStructuredBadRequestThenCloses) {
+  const std::string out = serve_script("FETCH /index.html\n");
+  EXPECT_NE(out.find("status=error"), std::string::npos) << out;
+  EXPECT_NE(out.find("error=bad_request: "), std::string::npos) << out;
+  EXPECT_NE(out.find("unknown frame"), std::string::npos) << out;
+  // The connection is poisoned after garbage: the loop said BYE.
+  EXPECT_NE(out.find("BYE"), std::string::npos) << out;
+}
+
+TEST(ServeStream, TruncatedRequestGetsStructuredBadRequest) {
+  const std::string out =
+      serve_script("REQUEST id=x graph_lines=5\n1 2\n");
+  EXPECT_NE(out.find("error=bad_request: "), std::string::npos) << out;
+}
+
+TEST(ServeStream, OversizedRequestGetsStructuredBadRequest) {
+  ServeOptions opts;
+  opts.limits.max_graph_lines = 3;
+  const std::string out =
+      serve_script("REQUEST id=x graph_lines=4\n1 1\n1 2\n2 1\n1 2\nEND\n",
+                   opts);
+  EXPECT_NE(out.find("error=bad_request: "), std::string::npos) << out;
+  EXPECT_NE(out.find("payload limit"), std::string::npos) << out;
+}
+
+TEST(ServeStream, ValidFramesStillFlowAfterHardening) {
+  const PartitionRequest req = make_request();
+  std::ostringstream script;
+  write_request(req, script);
+  script << "PING\nQUIT\n";
+  const std::string out = serve_script(script.str());
+  PartitionService svc;
+  std::ostringstream expected;
+  write_response(svc.execute(req), expected);
+  EXPECT_NE(out.find(expected.str()), std::string::npos);
+  EXPECT_NE(out.find("PONG\n"), std::string::npos);
+  EXPECT_NE(out.find("BYE\n"), std::string::npos);
 }
 
 TEST(Protocol, JsonMirrorsResponseFields) {
