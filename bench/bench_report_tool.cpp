@@ -25,6 +25,7 @@
 #include "linalg/lanczos.h"
 #include "model/assembly.h"
 #include "model/clique_models.h"
+#include "multilevel/vcycle.h"
 #include "seed_assembly.h"
 #include "service/service.h"
 #include "spectral/dprp.h"
@@ -50,6 +51,12 @@ struct KernelResult {
   std::uint64_t pairs = 0;
   std::uint64_t flops_per_pair = 0;
   std::uint64_t bytes_per_pair = 0;
+  // Multilevel rows additionally report the hierarchy shape and the
+  // per-level refinement breakdown (coarse-to-fine, finest last).
+  bool has_multilevel = false;
+  std::size_t levels = 0;
+  double coarsening_ratio = 0.0;
+  std::vector<multilevel::LevelStats> per_level = {};
 };
 
 void attach_counters(KernelResult& r, const linalg::LanczosResult& solve) {
@@ -104,7 +111,9 @@ int main(int argc, char** argv) {
                "CI sanity mode: run only the eigensolver rows at reduced "
                "size, then fail unless every counter field (converged "
                "pairs, flops_per_pair, bytes_per_pair) is present and "
-               "nonzero in the written JSON");
+               "nonzero in the written JSON and the multilevel row "
+               "reports a live hierarchy (levels, coarsening_ratio, "
+               "per_level)");
   try {
     if (!cli.parse(argc, argv)) return 0;
     const bool smoke = cli.get_bool("smoke");
@@ -181,6 +190,66 @@ int main(int argc, char** argv) {
       rb.parallel_seconds =
           time_median([&] { linalg::block_lanczos_smallest(q, bopts); });
       results.push_back(rb);
+    }
+
+    {
+      // Multilevel V-cycle against the flat solver, same matrix, same 10
+      // pairs. Like the "assembly" row this reuses the two timing columns
+      // for an algorithmic comparison: both are the single-thread
+      // end-to-end eigensolve stage (spectral::compute_eigenbasis, which
+      // for flat includes the escalation chain a cold solve actually
+      // pays), serial under strategy=flat and parallel under
+      // strategy=multilevel, so `speedup` records the multilevel-vs-flat
+      // end-to-end ratio (>= 3x at n=20000). Counters, hierarchy shape
+      // and per-level sweep timings come from the V-cycle's own
+      // instrumentation.
+      const std::size_t n = smoke ? scaled(2000) : scaled(20000);
+      const linalg::SymCsrMatrix q = graph::build_laplacian(model::clique_expand(
+          make_netlist(n), model::NetModel::kPartitioningSpecific));
+      const linalg::SolverOptions sopts;
+      const std::uint64_t seed = 0x3E10ULL;
+
+      multilevel::MultilevelStats stats;
+      KernelResult r{"multilevel", "n=" + std::to_string(n) +
+                                       " d=10 serial=flat parallel=vcycle"};
+      attach_counters(r, multilevel::multilevel_solve_smallest(
+                             q, 10, seed, sopts, serial, nullptr, &stats));
+      r.has_multilevel = true;
+      r.levels = stats.levels;
+      r.coarsening_ratio = stats.coarsening_ratio;
+      r.per_level = stats.per_level;
+      spectral::EmbeddingOptions eflat;
+      eflat.count = 10;
+      eflat.parallel = serial;
+      spectral::EmbeddingOptions eml = eflat;
+      eml.solver.strategy = linalg::SolverStrategy::kMultilevel;
+      r.serial_seconds =
+          time_median([&] { spectral::compute_eigenbasis(q, eflat); });
+      r.parallel_seconds =
+          time_median([&] { spectral::compute_eigenbasis(q, eml); });
+      results.push_back(r);
+
+      // Conventional serial-vs-threaded pair for the refinement stage
+      // (Chebyshev filter + Rayleigh-Ritz sweeps), which dominates the
+      // V-cycle and is the part built on the fixed-block parallel kernels.
+      const auto refine_median = [&](const ParallelConfig& p) {
+        std::vector<double> samples;
+        for (int rep = 0; rep < 3; ++rep) {
+          multilevel::MultilevelStats s;
+          multilevel::multilevel_solve_smallest(q, 10, seed, sopts, p,
+                                                nullptr, &s);
+          samples.push_back(s.refine_seconds);
+        }
+        std::sort(samples.begin(), samples.end());
+        return samples[1];
+      };
+      KernelResult rr{"multilevel_refine", "n=" + std::to_string(n) + " d=10"};
+      rr.has_multilevel = true;
+      rr.levels = stats.levels;
+      rr.coarsening_ratio = stats.coarsening_ratio;
+      rr.serial_seconds = refine_median(serial);
+      rr.parallel_seconds = refine_median(par);
+      results.push_back(rr);
     }
 
     if (!smoke) {
@@ -330,6 +399,22 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(r.pairs),
                      static_cast<unsigned long long>(r.flops_per_pair),
                      static_cast<unsigned long long>(r.bytes_per_pair));
+      if (r.has_multilevel) {
+        std::fprintf(f, ", \"levels\": %zu, \"coarsening_ratio\": %.2f",
+                     r.levels, r.coarsening_ratio);
+        if (!r.per_level.empty()) {
+          std::fprintf(f, ", \"per_level\": [");
+          for (std::size_t l = 0; l < r.per_level.size(); ++l) {
+            const multilevel::LevelStats& ls = r.per_level[l];
+            std::fprintf(f,
+                         "{\"n\": %zu, \"sweeps\": %zu, \"relative_residual\": "
+                         "%.3e, \"seconds\": %.6f}%s",
+                         ls.n, ls.sweeps, ls.relative_residual, ls.seconds,
+                         l + 1 < r.per_level.size() ? ", " : "");
+          }
+          std::fprintf(f, "]");
+        }
+      }
       std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
       std::printf("%-13s %-16s serial %8.1f ms   %zu threads %8.1f ms   "
                   "speedup %.2fx",
@@ -365,15 +450,41 @@ int main(int argc, char** argv) {
           return 1;
         }
       }
-      if (counter_rows < 2) {
+      if (counter_rows < 3) {
         std::fprintf(stderr,
                      "bench_report_tool: --smoke: expected counter fields on "
-                     "both eigensolver rows, found %zu row(s)\n",
+                     "all three eigensolver rows, found %zu row(s)\n",
                      counter_rows);
         return 1;
       }
-      std::printf("smoke: counter fields present and nonzero on %zu rows\n",
-                  counter_rows);
+      // The multilevel row must additionally carry a live hierarchy: a
+      // missing row or a degenerate ratio means the V-cycle silently
+      // degraded to a flat solve and the committed baseline would lie.
+      bool multilevel_ok = false;
+      for (const KernelResult& r : results) {
+        if (r.name != "multilevel") continue;
+        multilevel_ok = r.has_counters && r.pairs > 0 && r.levels > 0 &&
+                        r.coarsening_ratio > 1.0 && !r.per_level.empty();
+        if (!multilevel_ok)
+          std::fprintf(stderr,
+                       "bench_report_tool: --smoke: multilevel row is "
+                       "degenerate (pairs=%llu levels=%zu ratio=%.2f "
+                       "per_level=%zu)\n",
+                       static_cast<unsigned long long>(r.pairs), r.levels,
+                       r.coarsening_ratio, r.per_level.size());
+      }
+      if (!multilevel_ok) {
+        if (!std::any_of(results.begin(), results.end(),
+                         [](const KernelResult& r) {
+                           return r.name == "multilevel";
+                         }))
+          std::fprintf(stderr,
+                       "bench_report_tool: --smoke: multilevel row missing\n");
+        return 1;
+      }
+      std::printf("smoke: counter fields present and nonzero on %zu rows, "
+                  "multilevel hierarchy live (%s)\n",
+                  counter_rows, "levels/coarsening_ratio/per_level");
     }
     return 0;
   } catch (const Error& e) {

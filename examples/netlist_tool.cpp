@@ -48,6 +48,10 @@ int main(int argc, char** argv) {
                "$SPECPART_THREADS or hardware concurrency)");
   cli.add_flag("solver", "scalar",
                "eigensolver backend for melo: scalar | block");
+  cli.add_flag("multilevel", "false",
+               "melo: solve the eigenbasis through the coarsen/solve/refine "
+               "V-cycle (falls back to a flat solve if refinement cannot "
+               "certify the basis)");
   try {
     if (!cli.parse(argc, argv)) return 0;
     SP_CHECK_INPUT(cli.positionals().size() == 1,
@@ -88,6 +92,8 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(cli.get_int("d"));
       req.pipeline.num_starts = 3;
       req.pipeline.solver.backend = core::parse_solver_backend(cli.get("solver"));
+      if (cli.get_bool("multilevel"))
+        req.pipeline.solver.strategy = core::SolverStrategy::kMultilevel;
 
       const service::PartitionResponse resp = svc.execute(req);
       std::printf("%s\n", service::response_to_json(resp).c_str());
@@ -110,6 +116,8 @@ int main(int argc, char** argv) {
       m.num_eigenvectors = static_cast<std::size_t>(cli.get_int("d"));
       m.num_starts = 3;
       m.solver.backend = core::parse_solver_backend(cli.get("solver"));
+      if (cli.get_bool("multilevel"))
+        m.solver.strategy = core::SolverStrategy::kMultilevel;
       m.diagnostics = &diag;
       m.parallel = parallel;
       if (deadline > 0.0) {

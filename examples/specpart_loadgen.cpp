@@ -63,12 +63,16 @@ std::string response_wire(const service::PartitionResponse& resp) {
 /// one eigensolver backend given by `solver` ("scalar" keeps every wire
 /// byte identical to the pre-solver-field protocol).
 std::vector<service::PartitionRequest> make_workload(
-    std::size_t count, std::uint64_t seed, core::SolverBackend solver) {
+    std::size_t count, std::uint64_t seed, core::SolverBackend solver,
+    core::SolverStrategy strategy) {
   std::vector<graph::Hypergraph> pool;
-  for (std::size_t i = 0; i < 4; ++i) {
+  for (std::size_t i = 0; i < 5; ++i) {
     graph::GeneratorConfig cfg;
     cfg.name = strprintf("load%zu", i);
-    cfg.num_modules = 120 + 40 * i;
+    // The last pool entry sits above the dense threshold so a multilevel
+    // run actually exercises the V-cycle (and a flat run the Krylov
+    // chain) instead of both collapsing to the dense oracle.
+    cfg.num_modules = i < 4 ? 120 + 40 * i : 520;
     cfg.num_nets = cfg.num_modules + cfg.num_modules / 4;
     cfg.num_clusters = 4 + 2 * (i % 2);
     cfg.seed = 77 + i;
@@ -93,6 +97,7 @@ std::vector<service::PartitionRequest> make_workload(
     req.pipeline.num_eigenvectors = dims[rng.next_below(4)];
     req.pipeline.scaling = scalings[rng.next_below(2)];
     req.pipeline.solver.backend = solver;
+    req.pipeline.solver.strategy = strategy;
     reqs.push_back(std::move(req));
   }
   return reqs;
@@ -318,6 +323,9 @@ int main(int argc, char** argv) {
   cli.add_flag("window", "16", "TCP mode: pipelining window");
   cli.add_flag("solver", "scalar",
                "eigensolver backend for every request: scalar | block");
+  cli.add_flag("solver-strategy", "flat",
+               "eigensolve orchestration for every request: flat | "
+               "multilevel (byte-identity is audited either way)");
   cli.add_flag("shards", "",
                "comma-separated shard counts (e.g. 1,2,4): replay the "
                "workload through an in-process router + TCP shards per "
@@ -334,7 +342,8 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.get_int("requests"));
     const std::vector<service::PartitionRequest> reqs = make_workload(
         count, static_cast<std::uint64_t>(cli.get_int("seed")),
-        core::parse_solver_backend(cli.get("solver")));
+        core::parse_solver_backend(cli.get("solver")),
+        core::parse_solver_strategy(cli.get("solver-strategy")));
 
     const std::string shards_spec = cli.get("shards");
     if (!shards_spec.empty()) {

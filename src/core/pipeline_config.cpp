@@ -74,6 +74,16 @@ std::string_view solver_backend_token(SolverBackend b) {
   return "?";
 }
 
+std::string_view solver_strategy_token(SolverStrategy s) {
+  switch (s) {
+    case SolverStrategy::kFlat:
+      return "flat";
+    case SolverStrategy::kMultilevel:
+      return "multilevel";
+  }
+  return "?";
+}
+
 CoordScaling parse_coord_scaling(std::string_view token) {
   if (token == "sqrt_gap") return CoordScaling::kSqrtGap;
   if (token == "gap") return CoordScaling::kGap;
@@ -105,6 +115,13 @@ SolverBackend parse_solver_backend(std::string_view token) {
   if (token == "block") return SolverBackend::kBlock;
   throw Error("unknown solver backend '" + std::string(token) +
               "' (expected scalar | block)");
+}
+
+SolverStrategy parse_solver_strategy(std::string_view token) {
+  if (token == "flat") return SolverStrategy::kFlat;
+  if (token == "multilevel") return SolverStrategy::kMultilevel;
+  throw Error("unknown solver strategy '" + std::string(token) +
+              "' (expected flat | multilevel)");
 }
 
 }  // namespace specpart::core

@@ -32,6 +32,7 @@ namespace specpart::core {
 /// owns the instance every layer passes through.
 using SolverOptions = linalg::SolverOptions;
 using SolverBackend = linalg::SolverBackend;
+using SolverStrategy = linalg::SolverStrategy;
 
 /// Value-semantic pipeline knobs shared by the CLI drivers, the experiment
 /// runners and the partitioning service. See MeloOptions (core/drivers.h)
@@ -92,6 +93,7 @@ std::string_view coord_scaling_token(CoordScaling s);
 std::string_view net_model_token(model::NetModel m);
 std::string_view selection_rule_token(SelectionRule s);
 std::string_view solver_backend_token(SolverBackend b);
+std::string_view solver_strategy_token(SolverStrategy s);
 
 /// Parse a token back. Throws specpart::Error on an unknown token, naming
 /// the accepted spellings.
@@ -99,5 +101,6 @@ CoordScaling parse_coord_scaling(std::string_view token);
 model::NetModel parse_net_model(std::string_view token);
 SelectionRule parse_selection_rule(std::string_view token);
 SolverBackend parse_solver_backend(std::string_view token);
+SolverStrategy parse_solver_strategy(std::string_view token);
 
 }  // namespace specpart::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/band_eigen.h"
+#include "linalg/panel_ops.h"
 #include "linalg/symmetric_eigen.h"
 #include "util/error.h"
 #include "util/fault.h"
@@ -10,117 +12,13 @@
 
 namespace specpart::linalg {
 
-namespace {
+// The panel kernels (CGS2 dots, subtracts, reorthogonalization) live in
+// linalg/panel_ops.h, shared with the multilevel V-cycle refinement. They
+// use the fixed-block primitives of util/parallel.h, whose block structure
+// depends only on n and the grain — never on the thread count. The block
+// driver therefore has no separate serial reference: 1, 2 and 8 threads
+// produce the same bits, which is the contract test_block_lanczos_mt pins.
 
-// Every floating-point reduction below goes through the fixed-block
-// primitives of util/parallel.h, whose block structure depends only on n
-// and the grain — never on the thread count. The block driver therefore
-// has no separate serial reference: 1, 2 and 8 threads produce the same
-// bits, which is the contract test_block_lanczos_mt pins.
-
-/// dot of column `ca` of `p` with column `cb` of `q` (strided rows).
-double col_dot(const Panel& p, std::size_t ca, const Panel& q, std::size_t cb,
-               const ParallelConfig& par) {
-  const std::size_t pw = p.cols(), qw = q.cols();
-  const double* pd = p.data();
-  const double* qd = q.data();
-  return parallel_reduce<double>(
-      par, 0, p.rows(), 0.0,
-      [&](std::size_t lo, std::size_t hi) {
-        double s = 0.0;
-        for (std::size_t r = lo; r < hi; ++r)
-          s += pd[r * pw + ca] * qd[r * qw + cb];
-        return s;
-      },
-      [](double acc, double s) { return acc + s; });
-}
-
-/// Column cb of q += alpha * column ca of p (disjoint rows: exact).
-void col_axpy(double alpha, const Panel& p, std::size_t ca, Panel& q,
-              std::size_t cb, const ParallelConfig& par) {
-  const std::size_t pw = p.cols(), qw = q.cols();
-  const double* pd = p.data();
-  double* qd = q.data();
-  parallel_for(par, 0, p.rows(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t r = lo; r < hi; ++r)
-      qd[r * qw + cb] += alpha * pd[r * pw + ca];
-  });
-}
-
-void col_scale(Panel& p, std::size_t c, double alpha,
-               const ParallelConfig& par) {
-  const std::size_t pw = p.cols();
-  double* pd = p.data();
-  parallel_for(par, 0, p.rows(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t r = lo; r < hi; ++r) pd[r * pw + c] *= alpha;
-  });
-}
-
-/// C = P^T W (p.cols x w.cols), partials per row block combined in block
-/// order — the panel generalization of the scalar solver's CGS2 panel dot.
-DenseMatrix panel_dots(const Panel& p, const Panel& w,
-                       const ParallelConfig& par) {
-  const std::size_t pc = p.cols(), wc = w.cols();
-  const Vec flat = parallel_reduce<Vec>(
-      par, 0, p.rows(), Vec(pc * wc, 0.0),
-      [&](std::size_t lo, std::size_t hi) {
-        Vec partial(pc * wc, 0.0);
-        for (std::size_t r = lo; r < hi; ++r) {
-          const double* pr = p.row(r);
-          const double* wr = w.row(r);
-          for (std::size_t a = 0; a < pc; ++a) {
-            const double pa = pr[a];
-            if (pa == 0.0) continue;
-            double* out = partial.data() + a * wc;
-            for (std::size_t c = 0; c < wc; ++c) out[c] += pa * wr[c];
-          }
-        }
-        return partial;
-      },
-      [pc, wc](Vec acc, Vec partial) {
-        for (std::size_t i = 0; i < pc * wc; ++i) acc[i] += partial[i];
-        return acc;
-      });
-  DenseMatrix c(pc, wc);
-  for (std::size_t a = 0; a < pc; ++a)
-    for (std::size_t b = 0; b < wc; ++b) c.at(a, b) = flat[a * wc + b];
-  return c;
-}
-
-/// W -= P C over disjoint row blocks (exact per element).
-void panel_subtract(Panel& w, const Panel& p, const DenseMatrix& c,
-                    const ParallelConfig& par) {
-  const std::size_t pc = p.cols(), wc = w.cols();
-  SP_ASSERT(c.rows() == pc && c.cols() == wc);
-  parallel_for(par, 0, w.rows(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t r = lo; r < hi; ++r) {
-      const double* pr = p.row(r);
-      double* wr = w.row(r);
-      for (std::size_t a = 0; a < pc; ++a) {
-        const double pa = pr[a];
-        if (pa == 0.0) continue;
-        for (std::size_t col = 0; col < wc; ++col)
-          wr[col] -= pa * c.at(a, col);
-      }
-    }
-  });
-}
-
-/// Two CGS sweeps of every column of `w` against all of `blocks` — the
-/// block orthogonalizer (same CGS2 scheme as the scalar solver's parallel
-/// reorthogonalization, lifted from one vector to a panel).
-void block_reorthogonalize(const std::vector<Panel>& blocks, Panel& w,
-                           const ParallelConfig& par, std::uint64_t& flops) {
-  for (int sweep = 0; sweep < 2; ++sweep) {
-    for (const Panel& p : blocks) {
-      const DenseMatrix c = panel_dots(p, w, par);
-      panel_subtract(w, p, c, par);
-      flops += 4ull * w.rows() * p.cols() * w.cols();
-    }
-  }
-}
-
-}  // namespace
 
 LanczosResult block_lanczos_smallest(const SymCsrMatrix& a,
                                      BlockLanczosOptions opts) {
@@ -202,24 +100,24 @@ LanczosResult block_lanczos_smallest(const SymCsrMatrix& a,
       const std::size_t limit = std::min(k, keep);
       for (int sweep = 0; sweep < 2; ++sweep) {
         for (std::size_t j = 0; j < limit; ++j) {
-          const double c = col_dot(w, j, w, k, par);
-          if (c != 0.0) col_axpy(-c, w, j, w, k, par);
+          const double c = panel_col_dot(w, j, w, k, par);
+          if (c != 0.0) panel_col_axpy(-c, w, j, w, k, par);
           r_out.at(j, k) += c;
         }
       }
       flops += 8ull * n * limit;
       if (k >= keep) continue;
-      double nrm = std::sqrt(col_dot(w, k, w, k, par));
+      double nrm = std::sqrt(panel_col_dot(w, k, w, k, par));
       if (nrm > breakdown_tol) {
         r_out.at(k, k) = nrm;
-        col_scale(w, k, 1.0 / nrm, par);
+        panel_col_scale(w, k, 1.0 / nrm, par);
         continue;
       }
       // Dead column: R row stays zero (the coupling through an invariant
       // subspace is exactly zero, the band solver sees a block split).
       r_out.at(k, k) = 0.0;
       if (!allow_restart) {
-        col_scale(w, k, 0.0, par);
+        panel_col_scale(w, k, 0.0, par);
         continue;
       }
       Panel fresh(n, 1);
@@ -230,13 +128,13 @@ LanczosResult block_lanczos_smallest(const SymCsrMatrix& a,
           panel_subtract(fresh, p, c, par);
         }
         for (std::size_t j = 0; j < k; ++j) {
-          const double c = col_dot(w, j, fresh, 0, par);
-          if (c != 0.0) col_axpy(-c, w, j, fresh, 0, par);
+          const double c = panel_col_dot(w, j, fresh, 0, par);
+          if (c != 0.0) panel_col_axpy(-c, w, j, fresh, 0, par);
         }
       }
-      nrm = std::sqrt(col_dot(fresh, 0, fresh, 0, par));
+      nrm = std::sqrt(panel_col_dot(fresh, 0, fresh, 0, par));
       if (nrm <= 1e-12) return false;  // basis spans the whole space
-      col_scale(fresh, 0, 1.0 / nrm, par);
+      panel_col_scale(fresh, 0, 1.0 / nrm, par);
       const double* src = fresh.data();
       double* dst = w.data();
       parallel_for(par, 0, n, [&](std::size_t lo, std::size_t hi) {
@@ -258,47 +156,95 @@ LanczosResult block_lanczos_smallest(const SymCsrMatrix& a,
   }
   std::size_t used = blocks.back().cols();
 
-  // Band Rayleigh-Ritz state: the projected band matrix's decomposition,
-  // recomputed by check() and reused for the final extraction.
-  EigenDecomposition ritz;
+  // Band Rayleigh-Ritz state, recomputed by check() and reused for the
+  // final extraction: the top `take` Ritz values (descending) and their
+  // band-matrix eigenvectors (m x take, column i pairs with top_values[i]).
+  Vec top_values;
+  DenseMatrix top_vectors;
   std::size_t ritz_m = 0;
   Vec residuals;  // per wanted pair, aligned with descending theta
 
-  /// Assembles the m x m band matrix from the A/B blocks and diagonalizes
-  /// it with the dense Householder + QL machinery; computes the wanted
+  /// Rayleigh-Ritz on the projected band matrix; computes the wanted
   /// pairs' residuals ||b_tail y_bot||. Returns true when all converged.
+  ///
+  /// The projected matrix is band with bandwidth <= the block width, so
+  /// the wanted extreme pairs come from the O(m b^2)-per-pair spectrum
+  /// slicer in linalg/band_eigen.h rather than a dense O(m^3) solve — the
+  /// dense path at every geometric checkpoint used to dominate the whole
+  /// iteration (about 3/4 of serial time at n=2000, d=10). The dense
+  /// solver remains as a fallback when inverse iteration cannot certify
+  /// the band eigenvectors; both paths are serial and deterministic.
   auto check = [&](const DenseMatrix* b_tail) -> bool {
     const std::size_t m = used;
-    DenseMatrix t(m, m);
-    std::size_t row0 = 0;
-    for (std::size_t j = 0; j < diag_blocks.size(); ++j) {
-      const DenseMatrix& d = diag_blocks[j];
-      for (std::size_t r = 0; r < d.rows(); ++r)
-        for (std::size_t c = 0; c < d.cols(); ++c)
-          t.at(row0 + r, row0 + c) = d.at(r, c);
-      if (j < off_blocks.size()) {
-        const DenseMatrix& o = off_blocks[j];  // rows: block j+1, cols: j
-        for (std::size_t r = 0; r < o.rows(); ++r)
-          for (std::size_t c = 0; c < d.cols(); ++c) {
-            t.at(row0 + d.rows() + r, row0 + c) = o.at(r, c);
-            t.at(row0 + c, row0 + d.rows() + r) = o.at(r, c);
-          }
-      }
-      row0 += d.rows();
-    }
-    ritz = solve_symmetric_eigen(std::move(t));
-    ritz_m = m;
     const std::size_t take = std::min(want, m);
+    std::size_t bw = 0;
+    for (const Panel& p : blocks) bw = std::max(bw, p.cols());
+    bool band_ok = false;
+    if (m >= 64 && bw + 1 < m) {
+      BandMatrix t(m, bw);
+      std::size_t row0 = 0;
+      for (std::size_t j = 0; j < diag_blocks.size(); ++j) {
+        const DenseMatrix& d = diag_blocks[j];
+        for (std::size_t r = 0; r < d.rows(); ++r)
+          for (std::size_t c = 0; c <= r; ++c)
+            t.at(row0 + r, r - c) = d.at(r, c);
+        if (j < off_blocks.size()) {
+          const DenseMatrix& o = off_blocks[j];  // rows: block j+1, cols: j
+          for (std::size_t r = 0; r < o.rows(); ++r)
+            for (std::size_t c = 0; c < d.cols(); ++c) {
+              // R-factor rows r > c are exactly zero and would fall
+              // outside the band; skip them.
+              const std::size_t dist = d.rows() + r - c;
+              if (dist <= bw) t.at(row0 + d.rows() + r, dist) = o.at(r, c);
+            }
+        }
+        row0 += d.rows();
+      }
+      BandEigenPairs pairs = band_eigen_largest(t, take);
+      if (pairs.ok) {
+        top_values = std::move(pairs.values);
+        top_vectors = std::move(pairs.vectors);
+        band_ok = true;
+      }
+    }
+    if (!band_ok) {
+      DenseMatrix t(m, m);
+      std::size_t row0 = 0;
+      for (std::size_t j = 0; j < diag_blocks.size(); ++j) {
+        const DenseMatrix& d = diag_blocks[j];
+        for (std::size_t r = 0; r < d.rows(); ++r)
+          for (std::size_t c = 0; c < d.cols(); ++c)
+            t.at(row0 + r, row0 + c) = d.at(r, c);
+        if (j < off_blocks.size()) {
+          const DenseMatrix& o = off_blocks[j];
+          for (std::size_t r = 0; r < o.rows(); ++r)
+            for (std::size_t c = 0; c < d.cols(); ++c) {
+              t.at(row0 + d.rows() + r, row0 + c) = o.at(r, c);
+              t.at(row0 + c, row0 + d.rows() + r) = o.at(r, c);
+            }
+        }
+        row0 += d.rows();
+      }
+      const EigenDecomposition ritz = solve_symmetric_eigen(std::move(t));
+      top_values.assign(take, 0.0);
+      top_vectors = DenseMatrix(m, take);
+      for (std::size_t i = 0; i < take; ++i) {
+        const std::size_t col = m - 1 - i;  // largest thetas are last
+        top_values[i] = ritz.values[col];
+        for (std::size_t r = 0; r < m; ++r)
+          top_vectors.at(r, i) = ritz.vectors.at(r, col);
+      }
+    }
+    ritz_m = m;
     const std::size_t wlast = blocks.back().cols();
     residuals.assign(take, 0.0);
     for (std::size_t i = 0; i < take; ++i) {
-      const std::size_t col = m - 1 - i;  // largest thetas are last
-      if (b_tail == nullptr) continue;    // residual exactly representable: 0
+      if (b_tail == nullptr) continue;  // residual exactly representable: 0
       double sq = 0.0;
       for (std::size_t r = 0; r < b_tail->rows(); ++r) {
         double s = 0.0;
         for (std::size_t c = 0; c < wlast; ++c)
-          s += b_tail->at(r, c) * ritz.vectors.at(m - wlast + c, col);
+          s += b_tail->at(r, c) * top_vectors.at(m - wlast + c, i);
         sq += s * s;
       }
       residuals[i] = std::sqrt(sq);
@@ -310,12 +256,14 @@ LanczosResult block_lanczos_smallest(const SymCsrMatrix& a,
   };
 
   bool converged = false;
-  // Rayleigh-Ritz is a dense O(m^3) solve of the projected band matrix, so
-  // checking after every block step would dominate the iteration at large
-  // m. Geometric spacing (next check ~1.25x the current column count)
-  // bounds the total diagonalization cost by a small constant times the
-  // final solve's. The schedule depends only on column counts, never on
-  // thread count, preserving bit-identical results across thread counts.
+  // Geometric check spacing bounds the total Rayleigh-Ritz cost by a small
+  // constant times the final check's. With the band slicer a check costs
+  // O(m b^2) per pair instead of O(m^3), so the schedule is denser than
+  // the dense-solve era's 1.25x (1.125x now): convergence is caught
+  // earlier and the full-reorthogonalization cost — which grows with
+  // every surplus column — shrinks with it. The schedule depends only on
+  // column counts, never on thread count, preserving bit-identical
+  // results across thread counts.
   std::size_t next_check = 0;
   while (true) {
     const Panel& v = blocks.back();
@@ -337,7 +285,7 @@ LanczosResult block_lanczos_smallest(const SymCsrMatrix& a,
     flops += 4ull * n * w * w;
     diag_blocks.push_back(std::move(aj));
     // Full reorthogonalization against the whole basis (CGS2 panels).
-    block_reorthogonalize(blocks, w_panel, par, flops);
+    panel_reorthogonalize(blocks, w_panel, par, flops);
 
     const std::size_t remaining = cap - used;
     const std::size_t w_next = std::min(w, remaining);
@@ -360,7 +308,7 @@ LanczosResult block_lanczos_smallest(const SymCsrMatrix& a,
     const bool do_check = terminal || used >= next_check;
     if (do_check) {
       converged = check(&bj);
-      next_check = used + std::max<std::size_t>(b, used / 4);
+      next_check = used + std::max<std::size_t>(b, used / 8);
     }
     if (converged || terminal) break;
     if (!budget_charge(opts.budget)) {
@@ -389,8 +337,7 @@ LanczosResult block_lanczos_smallest(const SymCsrMatrix& a,
   result.vectors = DenseMatrix(n, take);
   Vec x(n);
   for (std::size_t i = 0; i < take; ++i) {
-    const std::size_t col = m - 1 - i;  // descending eigenvalues of B
-    result.values[i] = sigma - ritz.values[col];
+    result.values[i] = sigma - top_values[i];  // descending eigenvalues of B
     // x = sum_j V_j y_j; per row the block/column order is fixed, so the
     // row-blocked accumulation is exact for any thread count.
     parallel_for(par, 0, n, [&](std::size_t lo, std::size_t hi) {
@@ -400,7 +347,7 @@ LanczosResult block_lanczos_smallest(const SymCsrMatrix& a,
         for (const Panel& p : blocks) {
           const double* pr = p.row(r);
           for (std::size_t c = 0; c < p.cols(); ++c)
-            s += pr[c] * ritz.vectors.at(row0 + c, col);
+            s += pr[c] * top_vectors.at(row0 + c, i);
           row0 += p.cols();
         }
         x[r] = s;

@@ -35,6 +35,17 @@ namespace specpart::linalg {
 /// Which eigensolver implementation runs the eigensolve stage.
 enum class SolverBackend { kScalar, kBlock };
 
+/// How the eigensolve is orchestrated. kFlat runs the selected backend
+/// directly on the full-size Laplacian. kMultilevel runs the coarsen /
+/// solve / refine V-cycle (multilevel/vcycle.h): heavy-edge matching
+/// contracts the matrix level by level, the coarsest level is solved
+/// exactly, and the basis is interpolated back up with Chebyshev-filtered
+/// Rayleigh-Ritz refinement sweeps — typically several times faster than a
+/// flat Krylov solve at large n. When refinement cannot certify the
+/// requested pairs the embedding layer falls back to the flat chain, so
+/// the strategy is an accelerator, never a correctness risk.
+enum class SolverStrategy { kFlat, kMultilevel };
+
 /// The one solver-configuration struct. Replaces the ad-hoc spread of
 /// LanczosOptions / EmbeddingOptions fields; PipelineConfig owns an
 /// instance (aliased as core::SolverOptions) and every layer passes it
@@ -59,6 +70,26 @@ struct SolverOptions {
   std::size_t block_size = 0;
   /// kScalar only: reorthogonalization policy.
   Reorthogonalization reorthogonalization = Reorthogonalization::kFull;
+  /// Orchestration strategy: flat backend solve (default) or the
+  /// multilevel V-cycle. The ml_* knobs below configure the latter and are
+  /// ignored under kFlat.
+  SolverStrategy strategy = SolverStrategy::kFlat;
+  /// kMultilevel: stop coarsening once this few vertices remain (the
+  /// coarsest level is then solved exactly).
+  std::size_t ml_coarsest_size = 400;
+  /// kMultilevel: Chebyshev filter degree applied between Rayleigh-Ritz
+  /// refinement sweeps.
+  std::size_t ml_refine_degree = 50;
+  /// kMultilevel: refinement sweep cap per level (0 = automatic: 20 on the
+  /// finest level, 10 on intermediate levels).
+  std::size_t ml_refine_sweeps = 0;
+  /// kMultilevel: relative Ritz-residual acceptance threshold (times the
+  /// Gershgorin scale) that governs the result's `converged` flag. The
+  /// sweeps aspire to `tolerance` but a clustered quasi-continuum spectrum
+  /// bounds what polynomial filtering can certify; pairs within this
+  /// looser bound are accepted, anything worse triggers the embedding
+  /// layer's flat-solve fallback.
+  double ml_refine_tolerance = 1e-4;
 };
 
 /// Stateless eigensolve backend: computes the `want` smallest eigenpairs of

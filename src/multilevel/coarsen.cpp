@@ -1,0 +1,122 @@
+#include "multilevel/coarsen.h"
+
+#include <cstdint>
+#include <limits>
+
+#include "linalg/csr.h"
+
+namespace specpart::multilevel {
+
+namespace {
+
+constexpr std::uint32_t kUnmatched = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+CoarseLevel coarsen_once(const linalg::SymCsrMatrix& fine,
+                         const ParallelConfig& parallel) {
+  const std::size_t n = fine.size();
+  std::vector<std::uint32_t> cid(n, kUnmatched);
+  std::uint32_t next = 0;
+
+  // Pass 1: heavy-edge pairing. Ascending vertex order, each unmatched
+  // vertex grabs its heaviest unmatched neighbor.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (cid[v] != kUnmatched) continue;
+    double best_w = 0.0;
+    std::size_t best = n;
+    for (std::size_t k = fine.row_begin(v); k < fine.row_end(v); ++k) {
+      const std::size_t u = fine.col_index(k);
+      if (u == v || cid[u] != kUnmatched) continue;
+      const double w = -fine.value(k);  // Laplacian off-diagonal = -weight
+      if (w > best_w) {
+        best_w = w;
+        best = u;
+      }
+    }
+    if (best < n) {
+      cid[v] = next;
+      cid[best] = next;
+      ++next;
+    }
+  }
+
+  // Pass 2: two-hop pairing. A leftover (typically a vertex whose whole
+  // neighborhood matched in pass 1) pairs with another leftover reachable
+  // through any common neighbor, weighted by the lighter of the two hops.
+  // This keeps clusters at size <= 2 while still shrinking star-heavy
+  // regions; the alternative — absorbing leftovers into existing pairs —
+  // loses low eigenvectors (see the file comment in coarsen.h).
+  for (std::size_t v = 0; v < n; ++v) {
+    if (cid[v] != kUnmatched) continue;
+    double best_w = 0.0;
+    std::size_t best = n;
+    for (std::size_t k = fine.row_begin(v); k < fine.row_end(v); ++k) {
+      const std::size_t u = fine.col_index(k);
+      if (u == v) continue;
+      const double wu = -fine.value(k);
+      for (std::size_t k2 = fine.row_begin(u); k2 < fine.row_end(u); ++k2) {
+        const std::size_t t = fine.col_index(k2);
+        if (t == u || t == v || cid[t] != kUnmatched) continue;
+        const double wt = -fine.value(k2);
+        const double w2 = wu < wt ? wu : wt;
+        if (w2 > best_w) {
+          best_w = w2;
+          best = t;
+        }
+      }
+    }
+    if (best < n) {
+      cid[v] = next;
+      cid[best] = next;
+      ++next;
+    } else {
+      cid[v] = next;  // isolated (or fully surrounded): singleton cluster
+      ++next;
+    }
+  }
+
+  // Coarse Laplacian through the shared assembler: stream every crossing
+  // fine edge once (i < j picks one of the CSR's two mirrored entries) as
+  // a positive adjacency weight; finish_laplacian merges parallel edges
+  // under the stable-merge contract, negates them back and splices in the
+  // weighted-degree diagonal. Intra-cluster edges are dropped, which is
+  // exactly the Galerkin contraction P^T L P.
+  linalg::CsrAssembler& assembler = linalg::thread_assembly_workspace();
+  assembler.begin(next);
+  assembler.reserve(fine.nnz());
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = fine.row_begin(i); k < fine.row_end(i); ++k) {
+      const std::size_t j = fine.col_index(k);
+      if (j <= i) continue;
+      if (cid[i] == cid[j]) continue;
+      assembler.add_edge(cid[i], cid[j], -fine.value(k));
+    }
+  linalg::CsrStorage storage;
+  assembler.finish_laplacian(storage, nullptr, parallel);
+
+  CoarseLevel level;
+  level.coarse_of = std::move(cid);
+  level.lap = linalg::SymCsrMatrix(std::move(storage));
+  level.fine_n = n;
+  return level;
+}
+
+std::vector<CoarseLevel> build_hierarchy(const linalg::SymCsrMatrix& finest,
+                                         const CoarsenOptions& opts) {
+  std::vector<CoarseLevel> levels;
+  while (true) {
+    const linalg::SymCsrMatrix& cur =
+        levels.empty() ? finest : levels.back().lap;
+    if (cur.size() <= opts.coarsest_size || levels.size() >= opts.max_levels)
+      break;
+    CoarseLevel level = coarsen_once(cur, opts.parallel);
+    if (static_cast<double>(level.coarse_n()) >
+        opts.min_shrink_factor * static_cast<double>(cur.size()))
+      break;  // matching stalled; deeper levels would not pay for themselves
+    levels.push_back(std::move(level));
+  }
+  return levels;
+}
+
+}  // namespace specpart::multilevel

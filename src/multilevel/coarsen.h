@@ -1,0 +1,71 @@
+// Laplacian coarsening for the multilevel eigensolver (vcycle.h).
+//
+// Each level contracts the clique-expanded graph by heavy-edge matching on
+// the Laplacian's off-diagonal weights — the net-aware weights the clique
+// model assigned — followed by a two-hop pass that pairs leftover vertices
+// through a common neighbor (the METIS-style rescue for star-heavy
+// netlists, where plain matching strands most vertices). Clusters never
+// exceed two vertices: larger aggregates visibly distort the coarse
+// spectrum and silently *lose* low eigenvectors — a failure converged Ritz
+// residuals cannot detect, because the refined basis converges cleanly to
+// the wrong invariant subspace.
+//
+// The coarse operator is the Galerkin projection P^T L P under the
+// piecewise-constant prolongation P (fine vertex r maps to coarse vertex
+// coarse_of[r] with unit weight), which for a graph Laplacian is *exactly*
+// the Laplacian of the contracted graph: intra-cluster edges vanish,
+// parallel inter-cluster edges sum. It is assembled through the shared CSR
+// assembler (linalg/csr.h) under its stable-merge contract, so the coarse
+// matrix is bit-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/sparse.h"
+#include "util/parallel.h"
+
+namespace specpart::multilevel {
+
+/// One coarsening step: the fine-to-coarse vertex map and the coarse
+/// Laplacian. The prolongation is implicit — P x_c is x_c[coarse_of[r]] —
+/// so no interpolation matrix is ever stored.
+struct CoarseLevel {
+  /// fine vertex -> coarse vertex (cluster id). Clusters have size <= 2.
+  std::vector<std::uint32_t> coarse_of;
+  /// Galerkin coarse Laplacian = Laplacian of the contracted graph.
+  linalg::SymCsrMatrix lap;
+  /// Vertex count of the fine matrix this level contracted.
+  std::size_t fine_n = 0;
+
+  std::size_t coarse_n() const { return lap.size(); }
+};
+
+struct CoarsenOptions {
+  /// Stop coarsening once this few vertices remain.
+  std::size_t coarsest_size = 400;
+  /// Hard cap on hierarchy depth.
+  std::size_t max_levels = 40;
+  /// Stop when a level shrinks by less than this factor (coarse_n >
+  /// min_shrink_factor * fine_n means matching stalled; further levels
+  /// would add cost without reducing the coarse solve).
+  double min_shrink_factor = 0.75;
+  /// Threading for the coarse-matrix assembly merge (the matching itself
+  /// is serial by construction — its greedy order is part of the output).
+  ParallelConfig parallel;
+};
+
+/// One heavy-edge + two-hop matching step over `fine` (a graph Laplacian:
+/// off-diagonal entries are negated edge weights). Deterministic: the
+/// matching scans vertices in ascending order and ties break toward the
+/// first-seen heaviest neighbor.
+CoarseLevel coarsen_once(const linalg::SymCsrMatrix& fine,
+                         const ParallelConfig& parallel = {});
+
+/// Full hierarchy: repeated coarsen_once until coarsest_size, max_levels
+/// or a matching stall. levels[0] contracts `finest`; levels[k] contracts
+/// levels[k-1].lap. May return an empty vector (finest is already small).
+std::vector<CoarseLevel> build_hierarchy(const linalg::SymCsrMatrix& finest,
+                                         const CoarsenOptions& opts = {});
+
+}  // namespace specpart::multilevel

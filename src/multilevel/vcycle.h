@@ -1,0 +1,82 @@
+// Multilevel eigensolver: the coarsen / solve / refine V-cycle over the
+// CSR data plane.
+//
+// A flat Krylov solve on a large clique-model Laplacian spends most of its
+// time resolving a quasi-continuum of low eigenvalues — hundreds of Krylov
+// columns, each one a full sweep of the matrix. The V-cycle sidesteps
+// that: heavy-edge matching (coarsen.h) contracts the matrix level by
+// level down to a few hundred vertices, the coarsest problem is solved
+// exactly by the dense decomposition, and the basis rides back up through
+// piecewise-constant interpolation + CGS2 re-orthonormalization +
+// Rayleigh-Ritz refinement sweeps. Between sweeps a degree-p Chebyshev
+// filter on [lo, hi] (lo just above the current Ritz window, hi the
+// Gershgorin bound) damps everything above the wanted band — single power
+// steps on sigma I - L are useless here because sigma >> lambda_d, so the
+// three-term Chebyshev recurrence does the separation work.
+//
+// Every floating-point path is either serial or built on the fixed-block
+// primitives of util/parallel.h (panel_ops, spmm), so the result is
+// bit-identical across 1, 2 and 8 threads.
+//
+// Convergence contract: the sweeps aspire to SolverOptions::tolerance, but
+// on instances whose low spectrum is a clustered quasi-continuum the
+// filter's separation power caps the certifiable residual well above it.
+// SolverOptions::ml_refine_tolerance (relative, ~1e-4) is the documented
+// acceptance bound governing the returned `converged` flag; callers that
+// need the tight tolerance fall back to a flat solve when it is unmet
+// (spectral/embedding.cpp does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/eigensolver.h"
+#include "linalg/sparse.h"
+#include "util/budget.h"
+#include "util/parallel.h"
+
+namespace specpart::multilevel {
+
+/// Per-level refinement record, finest level last.
+struct LevelStats {
+  std::size_t n = 0;
+  std::size_t nnz = 0;
+  /// Rayleigh-Ritz sweeps spent on this level.
+  std::size_t sweeps = 0;
+  /// Final max Ritz residual over the wanted pairs, relative to the
+  /// level's Gershgorin scale.
+  double relative_residual = 0.0;
+  double seconds = 0.0;
+};
+
+struct MultilevelStats {
+  std::size_t levels = 0;
+  std::size_t coarsest_n = 0;
+  /// finest n / coarsest n (1.0 when no coarsening happened).
+  double coarsening_ratio = 1.0;
+  double coarsen_seconds = 0.0;
+  double coarse_solve_seconds = 0.0;
+  double refine_seconds = 0.0;
+  /// One entry per refined level, coarse-to-fine order (finest last).
+  std::vector<LevelStats> per_level;
+
+  std::size_t total_sweeps() const {
+    std::size_t s = 0;
+    for (const LevelStats& l : per_level) s += l.sweeps;
+    return s;
+  }
+};
+
+/// Computes the `want` smallest eigenpairs of the symmetric sparse matrix
+/// `a` through the V-cycle. Consumes the ml_* knobs plus `tolerance` of
+/// `opts`; `converged` in the result reflects ml_refine_tolerance (see the
+/// file comment). The FLOP / bytes-moved counters accumulate across every
+/// level, comparable with the flat solvers'. One refinement sweep charges
+/// one budget unit; on exhaustion the best basis so far is returned with
+/// budget_exhausted set.
+linalg::LanczosResult multilevel_solve_smallest(
+    const linalg::SymCsrMatrix& a, std::size_t want, std::uint64_t seed,
+    const linalg::SolverOptions& opts, const ParallelConfig& parallel,
+    ComputeBudget* budget = nullptr, MultilevelStats* stats = nullptr);
+
+}  // namespace specpart::multilevel

@@ -74,6 +74,14 @@ Fingerprint EmbeddingCache::eigen_key(const graph::Graph& g,
   h.mix_double(opts.solver.tolerance);
   h.mix_size(opts.solver.max_iterations);
   h.mix_size(opts.solver.block_size);
+  // Strategy + V-cycle knobs: a flat-solved and a multilevel-solved basis
+  // agree only to the refine tolerance, never bitwise, so they live in
+  // disjoint key domains exactly like the backends above.
+  h.mix_string(core::solver_strategy_token(opts.solver.strategy));
+  h.mix_size(opts.solver.ml_coarsest_size);
+  h.mix_size(opts.solver.ml_refine_degree);
+  h.mix_size(opts.solver.ml_refine_sweeps);
+  h.mix_double(opts.solver.ml_refine_tolerance);
   h.mix_u64(opts.seed);
   h.mix_size(solve_count);
   return h.digest();
@@ -109,6 +117,13 @@ Fingerprint EmbeddingCache::netlist_key(const graph::Hypergraph& h,
   hs.mix_double(opts.solver.tolerance);
   hs.mix_size(opts.solver.max_iterations);
   hs.mix_size(opts.solver.block_size);
+  // Strategy + V-cycle knobs, mirroring eigen_key: a flat-warmed cache
+  // must miss under strategy=multilevel and vice versa.
+  hs.mix_string(core::solver_strategy_token(opts.solver.strategy));
+  hs.mix_size(opts.solver.ml_coarsest_size);
+  hs.mix_size(opts.solver.ml_refine_degree);
+  hs.mix_size(opts.solver.ml_refine_sweeps);
+  hs.mix_double(opts.solver.ml_refine_tolerance);
   hs.mix_u64(opts.seed);
   hs.mix_size(solve_count);
   return hs.digest();

@@ -111,6 +111,10 @@ void write_request(const PartitionRequest& req, std::ostream& out) {
   // the wire bytes of scalar requests identical to the pre-solver protocol.
   if (p.solver.backend != core::SolverBackend::kScalar)
     out << " solver=" << core::solver_backend_token(p.solver.backend);
+  // Same non-default-only contract for the orchestration strategy: absent
+  // means flat, so pre-multilevel recorded traffic replays byte-identical.
+  if (p.solver.strategy != core::SolverStrategy::kFlat)
+    out << " strategy=" << core::solver_strategy_token(p.solver.strategy);
   out << " graph_lines=" << lines << '\n';
   out << payload;
   out << "END\n";
@@ -159,6 +163,14 @@ PartitionRequest parse_request(const std::string& header_line,
       // structured bad_request error, not a protocol-level crash.
       try {
         p.solver.backend = core::parse_solver_backend(value);
+      } catch (const Error& e) {
+        throw Error(std::string("bad_request: ") + e.what());
+      }
+    } else if (key == "strategy") {
+      // Absent field = flat (backward compatible); same structured
+      // bad_request contract as the solver field.
+      try {
+        p.solver.strategy = core::parse_solver_strategy(value);
       } catch (const Error& e) {
         throw Error(std::string("bad_request: ") + e.what());
       }

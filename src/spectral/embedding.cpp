@@ -5,6 +5,7 @@
 #include "graph/laplacian.h"
 #include "linalg/eigensolver.h"
 #include "linalg/symmetric_eigen.h"
+#include "multilevel/vcycle.h"
 #include "util/error.h"
 #include "util/stringutil.h"
 
@@ -66,10 +67,39 @@ EigenBasis eigenbasis_of_laplacian(const linalg::SymCsrMatrix& q,
         linalg::eigen_solver(opts.solver.backend);
     linalg::SolverOptions sopts = opts.solver;
     std::uint64_t seed = opts.seed;
-    linalg::LanczosResult result = run_attempt(
-        q, solver, want, seed, sopts, opts.parallel, budget, diag);
-    basis.solve_flops += result.flops;
-    basis.solve_bytes_moved += result.matrix_bytes_moved;
+
+    linalg::LanczosResult result;
+    bool have_result = false;
+    if (sopts.strategy == linalg::SolverStrategy::kMultilevel) {
+      // The V-cycle replaces the first flat attempt. Its converged flag is
+      // governed by ml_refine_tolerance (a quasi-continuum spectrum caps
+      // what Chebyshev filtering can certify); when it is unmet the flat
+      // chain below runs from scratch — the strategy is an accelerator,
+      // never a correctness risk.
+      multilevel::MultilevelStats mstats;
+      result = multilevel::multilevel_solve_smallest(
+          q, want, seed, sopts, opts.parallel, budget, &mstats);
+      basis.solve_flops += result.flops;
+      basis.solve_bytes_moved += result.matrix_bytes_moved;
+      if (diag != nullptr) {
+        diag->add_counter(kStage, "multilevel_levels", mstats.levels);
+        diag->add_counter(kStage, "multilevel_coarsest_n", mstats.coarsest_n);
+        diag->add_counter(kStage, "multilevel_refine_sweeps",
+                          mstats.total_sweeps());
+      }
+      have_result = result.converged || result.budget_exhausted;
+      if (!have_result)
+        note_fallback(diag,
+                      strprintf("multilevel refinement certified %zu of %zu "
+                                "pair(s); flat solve fallback",
+                                result.num_converged, want));
+    }
+    if (!have_result) {
+      result = run_attempt(q, solver, want, seed, sopts, opts.parallel,
+                           budget, diag);
+      basis.solve_flops += result.flops;
+      basis.solve_bytes_moved += result.matrix_bytes_moved;
+    }
 
     // Hardened fallback chain for clustered / pathological spectra. Each
     // escalation is recorded; an exhausted budget short-circuits to the

@@ -15,6 +15,7 @@
 #include "graph/graph.h"
 #include "graph/hypergraph.h"
 #include "graph/laplacian.h"
+#include "linalg/band_eigen.h"
 #include "linalg/block_lanczos.h"
 #include "linalg/eigensolver.h"
 #include "linalg/lanczos.h"
@@ -264,6 +265,82 @@ TEST(EigenSolverApi, BlockBackendOnDegenerateNetlists) {
   EXPECT_NEAR(basis.values[0], 0.0, 1e-8);
   EXPECT_NEAR(basis.values[1], 0.0, 1e-8);
   EXPECT_GT(basis.values[2], 1e-6);
+}
+
+/// Random symmetric band matrix plus its dense mirror, for oracle checks
+/// of the spectrum slicer the block solver's convergence checks run on.
+std::pair<BandMatrix, DenseMatrix> random_band(std::size_t n, std::size_t bw,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  BandMatrix a(n, bw);
+  DenseMatrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k <= std::min(i, bw); ++k) {
+      a.at(i, k) = rng.next_normal();
+      d.at(i, i - k) = a.at(i, k);
+      d.at(i - k, i) = a.at(i, k);
+    }
+  return {std::move(a), std::move(d)};
+}
+
+TEST(BandEigen, MatchesDenseOnRandomBandMatrix) {
+  const auto [a, d] = random_band(90, 5, 21);
+  const std::size_t count = 7;
+  const BandEigenPairs top = band_eigen_largest(a, count);
+  ASSERT_TRUE(top.ok);
+  ASSERT_EQ(top.values.size(), count);
+  const EigenDecomposition exact = solve_symmetric_eigen(d);  // ascending
+  const double scale = std::abs(exact.values.back()) + 1.0;
+  for (std::size_t j = 0; j < count; ++j) {
+    // values are the largest, descending.
+    EXPECT_NEAR(top.values[j], exact.values[90 - 1 - j], 1e-10 * scale)
+        << "pair " << j;
+    // Residual-certified eigenvectors: ||A v - lambda v|| tiny.
+    const Vec v = top.vectors.col(j);
+    Vec av = d.matvec(v);
+    axpy(-top.values[j], v, av);
+    EXPECT_LT(norm(av), 1e-8 * scale) << "pair " << j;
+  }
+  for (std::size_t x = 0; x < count; ++x)
+    for (std::size_t y = x; y < count; ++y)
+      EXPECT_NEAR(dot(top.vectors.col(x), top.vectors.col(y)),
+                  x == y ? 1.0 : 0.0, 1e-9)
+          << x << "," << y;
+}
+
+TEST(BandEigen, RepeatedEigenvaluesFromTwinBlocks) {
+  // Two identical uncoupled diagonal blocks: every eigenvalue appears
+  // twice, exercising the cluster path of the inverse iteration (shifted
+  // solves + in-cluster orthogonalization).
+  const std::size_t half = 40, bw = 3, n = 2 * half;
+  const auto [block, bd] = random_band(half, bw, 33);
+  BandMatrix a(n, bw);
+  DenseMatrix d(n, n);
+  for (std::size_t i = 0; i < half; ++i)
+    for (std::size_t k = 0; k <= std::min(i, bw); ++k) {
+      a.at(i, k) = block.at(i, k);
+      a.at(half + i, k) = block.at(i, k);
+      d.at(i, i - k) = d.at(i - k, i) = block.at(i, k);
+      d.at(half + i, half + i - k) = block.at(i, k);
+      d.at(half + i - k, half + i) = block.at(i, k);
+    }
+  const std::size_t count = 8;
+  const BandEigenPairs top = band_eigen_largest(a, count);
+  ASSERT_TRUE(top.ok);
+  const EigenDecomposition exact = solve_symmetric_eigen(d);
+  const double scale = std::abs(exact.values.back()) + 1.0;
+  for (std::size_t j = 0; j < count; ++j)
+    EXPECT_NEAR(top.values[j], exact.values[n - 1 - j], 1e-9 * scale)
+        << "pair " << j;
+  // Doubled spectrum: pairs (0,1), (2,3), ... share their eigenvalue...
+  for (std::size_t j = 0; j + 1 < count; j += 2)
+    EXPECT_NEAR(top.values[j], top.values[j + 1], 1e-9 * scale);
+  // ...and the returned cluster vectors must still be orthonormal.
+  for (std::size_t x = 0; x < count; ++x)
+    for (std::size_t y = x; y < count; ++y)
+      EXPECT_NEAR(dot(top.vectors.col(x), top.vectors.col(y)),
+                  x == y ? 1.0 : 0.0, 1e-8)
+          << x << "," << y;
 }
 
 TEST(EigenSolverApi, BlockBackendDeterministicForFixedSeed) {

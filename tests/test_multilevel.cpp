@@ -1,0 +1,309 @@
+// Tests for the multilevel eigensolver: coarsening (Galerkin conservation,
+// prolongation round-trip, hierarchy shape), the V-cycle (per-level Ritz
+// residual certification, eigenvalue agreement with the dense solver,
+// degenerate netlists), the end-to-end pipeline contract (MELO cut quality
+// within tolerance of the flat strategy, flat fallback on an unmet
+// refinement tolerance), and bit-identity across kernel thread counts
+// (this binary also runs as test_multilevel_mt under SPECPART_THREADS=8,
+// making the "auto" lane below an 8-thread lane).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/drivers.h"
+#include "graph/generator.h"
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+#include "graph/laplacian.h"
+#include "linalg/symmetric_eigen.h"
+#include "model/assembly.h"
+#include "model/clique_models.h"
+#include "multilevel/coarsen.h"
+#include "multilevel/vcycle.h"
+#include "spectral/embedding.h"
+#include "util/rng.h"
+
+namespace specpart::multilevel {
+namespace {
+
+using linalg::DenseMatrix;
+using linalg::SymCsrMatrix;
+using linalg::Vec;
+
+/// Random connected graph Laplacian (spanning tree + extra random edges).
+SymCsrMatrix random_laplacian(std::size_t n, std::size_t extra_edges,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<graph::Edge> edges;
+  for (std::size_t v = 1; v < n; ++v)
+    edges.push_back({static_cast<graph::NodeId>(rng.next_below(v)),
+                     static_cast<graph::NodeId>(v),
+                     0.5 + rng.next_double()});
+  for (std::size_t e = 0; e < extra_edges; ++e) {
+    const auto u = static_cast<graph::NodeId>(rng.next_below(n));
+    const auto v = static_cast<graph::NodeId>(rng.next_below(n));
+    if (u != v) edges.push_back({u, v, 0.5 + rng.next_double()});
+  }
+  return graph::build_laplacian(graph::Graph(n, edges));
+}
+
+graph::Hypergraph bench_netlist(std::size_t modules, std::uint64_t seed) {
+  graph::GeneratorConfig cfg;
+  cfg.num_modules = modules;
+  cfg.num_nets = modules + modules / 10;
+  cfg.seed = seed;
+  return graph::generate_netlist(cfg);
+}
+
+SymCsrMatrix netlist_laplacian(std::size_t modules, std::uint64_t seed) {
+  return graph::build_laplacian(model::clique_expand(
+      bench_netlist(modules, seed), model::NetModel::kPartitioningSpecific));
+}
+
+TEST(Coarsen, GalerkinCoarseLaplacianMatchesTripletReference) {
+  // The coarse operator must be exactly P^T L P under the
+  // piecewise-constant prolongation — equivalently the Laplacian of the
+  // contracted graph built by summing inter-cluster edge weights through
+  // the plain triplet route.
+  const SymCsrMatrix q = random_laplacian(300, 900, 7);
+  const CoarseLevel lev = coarsen_once(q);
+  const std::size_t nc = lev.coarse_n();
+  ASSERT_EQ(lev.fine_n, 300u);
+  ASSERT_EQ(lev.coarse_of.size(), 300u);
+  ASSERT_LT(nc, 300u);
+
+  // Cluster ids valid, cluster sizes never above two (larger aggregates
+  // silently lose low eigenvectors — see coarsen.h).
+  std::vector<std::size_t> cluster_size(nc, 0);
+  for (const std::uint32_t c : lev.coarse_of) {
+    ASSERT_LT(c, nc);
+    ++cluster_size[c];
+  }
+  for (std::size_t c = 0; c < nc; ++c) {
+    EXPECT_GE(cluster_size[c], 1u);
+    EXPECT_LE(cluster_size[c], 2u);
+  }
+
+  // Dense Galerkin reference: ref = P^T L P, entry by entry.
+  const DenseMatrix ld = q.to_dense();
+  DenseMatrix ref(nc, nc);
+  for (std::size_t i = 0; i < 300; ++i)
+    for (std::size_t j = 0; j < 300; ++j)
+      ref.at(lev.coarse_of[i], lev.coarse_of[j]) += ld.at(i, j);
+  const DenseMatrix coarse = lev.lap.to_dense();
+  EXPECT_LT(coarse.max_abs_diff(ref), 1e-10);
+
+  // A Laplacian stays a Laplacian: zero row sums, nonnegative diagonal.
+  for (std::size_t i = 0; i < nc; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < nc; ++j) row += coarse.at(i, j);
+    EXPECT_NEAR(row, 0.0, 1e-9) << "row " << i;
+    EXPECT_GE(coarse.at(i, i), 0.0);
+  }
+}
+
+TEST(Coarsen, ProlongationRestrictionRoundTrip) {
+  // Restriction after prolongation multiplies each coarse entry by its
+  // cluster size: P^T P = diag(|cluster|). With sizes 1 and 2 the sums
+  // are exact in floating point, so the round-trip is equality, not
+  // approximation.
+  const SymCsrMatrix q = random_laplacian(200, 500, 11);
+  const CoarseLevel lev = coarsen_once(q);
+  const std::size_t nc = lev.coarse_n();
+
+  Rng rng(3);
+  Vec xc(nc);
+  for (double& v : xc) v = rng.next_normal();
+
+  Vec xf(lev.fine_n);
+  for (std::size_t r = 0; r < lev.fine_n; ++r) xf[r] = xc[lev.coarse_of[r]];
+
+  Vec back(nc, 0.0);
+  std::vector<std::size_t> cluster_size(nc, 0);
+  for (std::size_t r = 0; r < lev.fine_n; ++r) {
+    back[lev.coarse_of[r]] += xf[r];
+    ++cluster_size[lev.coarse_of[r]];
+  }
+  for (std::size_t c = 0; c < nc; ++c)
+    EXPECT_EQ(back[c], static_cast<double>(cluster_size[c]) * xc[c])
+        << "cluster " << c;
+}
+
+TEST(Coarsen, HierarchyReachesTheConfiguredFloor) {
+  const SymCsrMatrix q = netlist_laplacian(2000, 1234);
+  CoarsenOptions opts;
+  opts.coarsest_size = 400;
+  const std::vector<CoarseLevel> levels = build_hierarchy(q, opts);
+  ASSERT_FALSE(levels.empty());
+  // Each level genuinely shrinks; pair matching halves at best.
+  std::size_t fine_n = q.size();
+  for (const CoarseLevel& lev : levels) {
+    EXPECT_EQ(lev.fine_n, fine_n);
+    EXPECT_LT(lev.coarse_n(), fine_n);
+    EXPECT_GE(2 * lev.coarse_n(), fine_n);
+    fine_n = lev.coarse_n();
+  }
+  // The coarsest level lies in the window the floor targets (matching can
+  // overshoot the floor by at most a factor of two).
+  EXPECT_LE(levels.back().coarse_n(), opts.coarsest_size);
+  EXPECT_GE(2 * levels.back().coarse_n(), opts.coarsest_size);
+}
+
+TEST(Multilevel, RitzResidualsCertifiedAtEveryLevel) {
+  const SymCsrMatrix q = netlist_laplacian(1200, 1234);
+  linalg::SolverOptions sopts;
+  MultilevelStats stats;
+  const linalg::LanczosResult r = multilevel_solve_smallest(
+      q, 10, 0x3E10ULL, sopts, ParallelConfig{}, nullptr, &stats);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.num_converged, 10u);
+  ASSERT_GE(stats.levels, 1u);
+  // One refinement record per prolongation target, finest included.
+  ASSERT_EQ(stats.per_level.size(), stats.levels);
+  EXPECT_GT(stats.coarsening_ratio, 1.0);
+  for (const LevelStats& ls : stats.per_level)
+    EXPECT_LE(ls.relative_residual, sopts.ml_refine_tolerance)
+        << "level n=" << ls.n;
+  EXPECT_EQ(stats.per_level.back().n, q.size());  // finest last
+  // Ritz values ascend and start at the trivial eigenvalue.
+  EXPECT_NEAR(r.values[0], 0.0, 1e-7);
+  for (std::size_t j = 1; j < r.values.size(); ++j)
+    EXPECT_GE(r.values[j], r.values[j - 1]);
+  // The cost counters accumulate across every level.
+  EXPECT_GT(r.flops, 0u);
+  EXPECT_GT(r.matrix_bytes_moved, 0u);
+  EXPECT_GT(r.iterations, 0u);
+}
+
+TEST(Multilevel, MatchesDenseEigenvalues) {
+  const SymCsrMatrix q = netlist_laplacian(600, 1234);
+  linalg::SolverOptions sopts;
+  const linalg::LanczosResult r = multilevel_solve_smallest(
+      q, 6, 0x3E10ULL, sopts, ParallelConfig{});
+  ASSERT_TRUE(r.converged);
+  const linalg::EigenDecomposition exact =
+      linalg::solve_symmetric_eigen_smallest(q.to_dense(), 6);
+  for (std::size_t j = 0; j < 6; ++j)
+    EXPECT_NEAR(r.values[j], exact.values[j], 1e-6) << "pair " << j;
+  // Unit, pairwise-orthogonal Ritz vectors.
+  for (std::size_t a = 0; a < 6; ++a)
+    for (std::size_t b = a; b < 6; ++b) {
+      const double d = linalg::dot(r.vectors.col(a), r.vectors.col(b));
+      EXPECT_NEAR(d, a == b ? 1.0 : 0.0, 1e-8) << a << "," << b;
+    }
+}
+
+TEST(Multilevel, DegenerateNetlistsWithPathologicalNets) {
+  // A 600-vertex chain netlist salted with a 0-pin net, 1-pin nets and
+  // nets with duplicate pins. The clique-model path must absorb all of
+  // them, and the V-cycle result must satisfy its own acceptance bound
+  // when it claims convergence.
+  std::vector<std::vector<graph::NodeId>> nets;
+  for (graph::NodeId v = 0; v + 1 < 600; ++v)
+    nets.push_back({v, static_cast<graph::NodeId>(v + 1)});
+  for (graph::NodeId v = 0; v + 37 < 600; v += 37)
+    nets.push_back({v, static_cast<graph::NodeId>(v + 19),
+                    static_cast<graph::NodeId>(v + 37)});
+  nets.push_back({});                  // 0-pin net
+  nets.push_back({5});                 // 1-pin net
+  nets.push_back({7, 7, 8});           // duplicate pins
+  nets.push_back({3, 3, 3});           // all pins identical
+  const graph::Hypergraph h(600, std::move(nets));
+  const SymCsrMatrix q =
+      model::build_clique_laplacian(h, model::NetModel::kStandard);
+
+  linalg::SolverOptions sopts;
+  MultilevelStats stats;
+  const linalg::LanczosResult r = multilevel_solve_smallest(
+      q, 4, 0x3E10ULL, sopts, ParallelConfig{}, nullptr, &stats);
+  ASSERT_EQ(r.values.size(), 4u);
+  EXPECT_NEAR(r.values[0], 0.0, 1e-6);
+  const double accept = sopts.ml_refine_tolerance * q.gershgorin_upper();
+  for (std::size_t j = 0; j < r.num_converged; ++j) {
+    const Vec v = r.vectors.col(j);
+    Vec qv = q.matvec(v);
+    linalg::axpy(-r.values[j], v, qv);
+    EXPECT_LE(linalg::norm(qv), accept * (1.0 + 1e-12)) << "pair " << j;
+  }
+
+  // The product contract on the same input: the embedding layer always
+  // delivers a converged basis — directly, or through the flat fallback.
+  spectral::EmbeddingOptions eopts;
+  eopts.count = 4;
+  eopts.solver.strategy = linalg::SolverStrategy::kMultilevel;
+  eopts.solver.dense_threshold = 0;  // force the iterative path
+  const spectral::EigenBasis basis = spectral::compute_eigenbasis(q, eopts);
+  EXPECT_TRUE(basis.converged);
+  EXPECT_EQ(basis.dimension(), 4u);
+}
+
+TEST(Multilevel, CutQualityWithinFivePercentOfFlat) {
+  const graph::Hypergraph h = bench_netlist(800, 1234);
+  core::MeloOptions flat;
+  flat.num_eigenvectors = 10;
+  core::MeloOptions multi = flat;
+  multi.solver.strategy = core::SolverStrategy::kMultilevel;
+
+  const core::MeloBipartitionResult a = core::melo_bipartition(h, flat);
+  const core::MeloBipartitionResult b = core::melo_bipartition(h, multi);
+  ASSERT_TRUE(a.eigen_converged);
+  ASSERT_TRUE(b.eigen_converged);
+  EXPECT_GT(a.cut, 0.0);
+  EXPECT_LE(b.cut, 1.05 * a.cut)
+      << "multilevel cut " << b.cut << " vs flat " << a.cut;
+}
+
+TEST(Multilevel, EmbeddingFallsBackToFlatOnUnmetTolerance) {
+  // An unreachable refinement tolerance forces the V-cycle to report
+  // non-convergence; the embedding layer must then run the flat chain and
+  // still deliver a converged basis, recording the fallback.
+  const SymCsrMatrix q = netlist_laplacian(600, 1234);
+  spectral::EmbeddingOptions eopts;
+  eopts.count = 6;
+  eopts.solver.strategy = linalg::SolverStrategy::kMultilevel;
+  eopts.solver.ml_refine_tolerance = 1e-300;
+  // One sweep = only the mandatory consistency Rayleigh-Ritz pass: the
+  // prolonged coarse basis is never filtered, so its residual cannot meet
+  // the acceptance bound.
+  eopts.solver.ml_refine_sweeps = 1;
+  Diagnostics diag;
+  const spectral::EigenBasis basis =
+      spectral::compute_eigenbasis(q, eopts, &diag);
+  EXPECT_TRUE(basis.converged);
+  EXPECT_GE(diag.stage_fallbacks("eigensolve"), 1u);
+  bool saw_fallback = false;
+  for (const DiagnosticEvent& e : diag.events())
+    if (e.is_fallback && e.message.find("multilevel") != std::string::npos)
+      saw_fallback = true;
+  EXPECT_TRUE(saw_fallback);
+}
+
+TEST(Multilevel, BitIdenticalAcrossThreadCounts) {
+  // Matching is serial, the coarse assembly honors the CSR stable-merge
+  // contract, and every refinement kernel uses the fixed-block
+  // deterministic primitives — so 1 thread, 2 threads and the auto lane
+  // (8 threads in the test_multilevel_mt ctest run) must agree bitwise.
+  const SymCsrMatrix q = netlist_laplacian(1000, 1234);
+  linalg::SolverOptions sopts;
+  const auto solve = [&](const ParallelConfig& par) {
+    return multilevel_solve_smallest(q, 8, 0x3E10ULL, sopts, par);
+  };
+  const linalg::LanczosResult one = solve(ParallelConfig::with_threads(1));
+  const linalg::LanczosResult two = solve(ParallelConfig::with_threads(2));
+  const linalg::LanczosResult autod =
+      solve(ParallelConfig::with_threads(0));  // $SPECPART_THREADS
+  ASSERT_EQ(one.values.size(), two.values.size());
+  ASSERT_EQ(one.values.size(), autod.values.size());
+  for (std::size_t j = 0; j < one.values.size(); ++j) {
+    EXPECT_EQ(one.values[j], two.values[j]) << "pair " << j;
+    EXPECT_EQ(one.values[j], autod.values[j]) << "pair " << j;
+  }
+  EXPECT_EQ(one.vectors.max_abs_diff(two.vectors), 0.0);
+  EXPECT_EQ(one.vectors.max_abs_diff(autod.vectors), 0.0);
+  EXPECT_EQ(one.iterations, two.iterations);
+  EXPECT_EQ(one.matrix_bytes_moved, two.matrix_bytes_moved);
+}
+
+}  // namespace
+}  // namespace specpart::multilevel

@@ -144,6 +144,52 @@ TEST(Cache, SolverBackendsLiveInDisjointKeyDomains) {
   EXPECT_EQ(s.entries, 2u);
 }
 
+TEST(Cache, SolverStrategiesLiveInDisjointKeyDomains) {
+  // The solve strategy changes the numerical content of the basis (the
+  // V-cycle converges to its own acceptance bound, not the flat chain's),
+  // so flat- and multilevel-produced embeddings must never alias — in
+  // BOTH key domains: the legacy graph key and the netlist key.
+  const graph::Hypergraph h = small_netlist();
+  const graph::Graph g =
+      model::clique_expand(h, model::NetModel::kPartitioningSpecific);
+  spectral::EmbeddingOptions e;
+  spectral::EmbeddingOptions ml = e;
+  ml.solver.strategy = linalg::SolverStrategy::kMultilevel;
+  EXPECT_NE(EmbeddingCache::eigen_key(g, e, 16),
+            EmbeddingCache::eigen_key(g, ml, 16));
+  EXPECT_NE(
+      EmbeddingCache::netlist_key(h, model::NetModel::kPartitioningSpecific,
+                                  0, e, 16),
+      EmbeddingCache::netlist_key(h, model::NetModel::kPartitioningSpecific,
+                                  0, ml, 16));
+  // The multilevel tuning knobs are content too, in both domains.
+  spectral::EmbeddingOptions tuned = ml;
+  tuned.solver.ml_refine_degree += 1;
+  EXPECT_NE(EmbeddingCache::eigen_key(g, ml, 16),
+            EmbeddingCache::eigen_key(g, tuned, 16));
+  EXPECT_NE(
+      EmbeddingCache::netlist_key(h, model::NetModel::kPartitioningSpecific,
+                                  0, ml, 16),
+      EmbeddingCache::netlist_key(h, model::NetModel::kPartitioningSpecific,
+                                  0, tuned, 16));
+
+  // End to end: a cache warmed by a flat request must miss when the same
+  // netlist arrives with strategy=multilevel.
+  PartitionService svc;
+  PartitionRequest req = make_request();
+  const PartitionResponse flat_resp = svc.execute(req);  // warms the cache
+  req.pipeline.solver.strategy = core::SolverStrategy::kMultilevel;
+  const PartitionResponse ml_resp = svc.execute(req);
+  EXPECT_EQ(flat_resp.status, "ok");
+  EXPECT_EQ(ml_resp.status, "ok");
+
+  const EmbeddingCacheStats s = svc.cache_stats();
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.entries, 2u);
+}
+
 TEST(Cache, RepeatedSolveHitsAndSkipsEigensolve) {
   const graph::Graph g = model::clique_expand(
       small_netlist(), model::NetModel::kPartitioningSpecific);
@@ -576,6 +622,47 @@ TEST(Protocol, UnknownSolverTokenIsStructuredBadRequest) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("bad_request"), std::string::npos) << msg;
     EXPECT_NE(msg.find("qr_iteration"), std::string::npos) << msg;
+  }
+}
+
+TEST(Protocol, StrategyFieldDefaultsToFlatAndRoundTrips) {
+  // Flat requests serialize to the exact pre-strategy-field bytes (absent
+  // field == flat) so recorded wire traffic keeps working; multilevel
+  // requests carry the field and round-trip byte-stably.
+  PartitionRequest req = make_request();
+  std::ostringstream flat_wire;
+  write_request(req, flat_wire);
+  EXPECT_EQ(flat_wire.str().find(" strategy="), std::string::npos);
+  std::istringstream flat_in(flat_wire.str());
+  const std::optional<PartitionRequest> flat_parsed = read_request(flat_in);
+  ASSERT_TRUE(flat_parsed.has_value());
+  EXPECT_EQ(flat_parsed->pipeline.solver.strategy,
+            core::SolverStrategy::kFlat);
+
+  req.pipeline.solver.strategy = core::SolverStrategy::kMultilevel;
+  std::ostringstream first;
+  write_request(req, first);
+  EXPECT_NE(first.str().find(" strategy=multilevel"), std::string::npos);
+  std::istringstream in(first.str());
+  const std::optional<PartitionRequest> parsed = read_request(in);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->pipeline.solver.strategy,
+            core::SolverStrategy::kMultilevel);
+  std::ostringstream second;
+  write_request(*parsed, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Protocol, UnknownStrategyTokenIsStructuredBadRequest) {
+  std::istringstream bad(
+      "REQUEST id=x strategy=cascadic graph_lines=0\nEND\n");
+  try {
+    read_request(bad);
+    FAIL() << "unknown strategy token must be rejected";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bad_request"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cascadic"), std::string::npos) << msg;
   }
 }
 
