@@ -52,8 +52,77 @@ int main(int argc, char** argv) {
                "melo: solve the eigenbasis through the coarsen/solve/refine "
                "V-cycle (falls back to a flat solve if refinement cannot "
                "certify the basis)");
+  cli.add_flag("warm", "false",
+               "pre-warm mode: compute and persist the eigenbasis of every "
+               "listed netlist into --cache-dir, so a shard can serve warm "
+               "before taking traffic (melo pipeline defaults)");
+  cli.add_flag("cache-dir", "",
+               "persistent basis-store directory for --warm");
+  cli.add_flag("disk-budget-mb", "1024",
+               "--warm: tier-2 store byte budget in MiB");
   try {
     if (!cli.parse(argc, argv)) return 0;
+
+    if (cli.get_bool("warm")) {
+      // Offline pre-warm: run each netlist through the exact serving path
+      // (PartitionService with the tier-2 store configured), so the
+      // persisted entries carry the same content keys live wire traffic
+      // will look up — parity by construction, like --json.
+      SP_CHECK_INPUT(!cli.get("cache-dir").empty(),
+                     "--warm requires --cache-dir DIR");
+      SP_CHECK_INPUT(!cli.positionals().empty(),
+                     "usage: netlist_tool --warm --cache-dir DIR <file>...");
+      service::ServiceOptions sopts;
+      sopts.num_workers = 0;  // execute() runs on this thread
+      sopts.cache.cache_dir = cli.get("cache-dir");
+      sopts.cache.disk_budget_bytes =
+          static_cast<std::size_t>(cli.get_int("disk-budget-mb")) << 20;
+      sopts.deadline_seconds = cli.get_double("deadline");
+      sopts.parallel = ParallelConfig::with_threads(
+          static_cast<std::size_t>(cli.get_int("threads")));
+      service::PartitionService svc(sopts);
+      int failures = 0;
+      for (const std::string& file : cli.positionals()) {
+        service::PartitionRequest req;
+        req.id = file;
+        req.k = static_cast<std::uint32_t>(cli.get_int("k"));
+        req.balance = cli.get_double("balance");
+        req.graph = cli.get("format") == "netd"
+                        ? graph::read_netd_file(file)
+                        : graph::read_hgr_file(file);
+        req.pipeline.num_eigenvectors =
+            static_cast<std::size_t>(cli.get_int("d"));
+        req.pipeline.num_starts = 3;
+        req.pipeline.solver.backend =
+            core::parse_solver_backend(cli.get("solver"));
+        if (cli.get_bool("multilevel"))
+          req.pipeline.solver.strategy = core::SolverStrategy::kMultilevel;
+
+        Diagnostics warm_diag;
+        const service::PartitionResponse resp = svc.execute(req, &warm_diag);
+        const auto ran_stage = [&warm_diag](const char* name) {
+          for (const StageStats& s : warm_diag.stages())
+            if (s.name == name) return true;
+          return false;
+        };
+        const bool was_warm = ran_stage("embedding_cache_disk_hit") ||
+                              ran_stage("embedding_cache_hit");
+        if (!resp.ok()) ++failures;
+        std::printf("%s: %s (%s)\n", file.c_str(),
+                    resp.ok() ? (was_warm ? "already warm" : "warmed")
+                              : "FAILED",
+                    resp.ok() ? resp.status.c_str() : resp.error.c_str());
+      }
+      const service::MetricsSnapshot snap = svc.snapshot();
+      std::printf("store %s: %zu entries, %zu bytes on disk, %llu spilled "
+                  "this run (%llu failed)\n",
+                  cli.get("cache-dir").c_str(), snap.storage.disk_entries,
+                  snap.storage.bytes_on_disk,
+                  static_cast<unsigned long long>(snap.storage.spills),
+                  static_cast<unsigned long long>(snap.storage.spill_failures));
+      return failures == 0 ? 0 : 1;
+    }
+
     SP_CHECK_INPUT(cli.positionals().size() == 1,
                    "usage: netlist_tool <file> [flags]; see --help");
     const std::string path = cli.positionals()[0];

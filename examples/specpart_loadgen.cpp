@@ -23,12 +23,14 @@
 #include <csignal>
 #include <cstdio>
 #include <deque>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/generator.h"
@@ -116,6 +118,9 @@ std::string strip_id(const std::string& wire, const std::string& id) {
 struct RunResult {
   std::vector<service::PartitionResponse> responses;
   double elapsed_seconds = 0.0;
+  /// Flattened METRICS key/values of the serving side after the run
+  /// (snapshot in-process, METRICS frame over TCP).
+  std::map<std::string, double> metrics;
 };
 
 struct Audit {
@@ -160,14 +165,29 @@ RunResult run_inproc(const std::vector<service::PartitionRequest>& reqs,
   run.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  std::cout << svc.snapshot().render_text();
+  const service::MetricsSnapshot snap = svc.snapshot();
+  for (const auto& [key, value] : snap.key_values()) run.metrics[key] = value;
+  std::cout << snap.render_text();
   return run;
+}
+
+/// tcp_connect with a short retry loop, so the loadgen can be launched
+/// right after (or even slightly before) the server it targets.
+int tcp_connect_retry(const std::string& host, std::uint16_t port) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return service::tcp_connect(host, port);
+    } catch (const Error&) {
+      if (attempt >= 19) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  }
 }
 
 RunResult run_tcp(const std::vector<service::PartitionRequest>& reqs,
                   const std::string& host, std::uint16_t port,
                   std::size_t window) {
-  const int fd = service::tcp_connect(host, port);
+  const int fd = tcp_connect_retry(host, port);
   service::FdStreamBuf in_buf(fd);
   service::FdStreamBuf out_buf(fd);
   std::istream in(&in_buf);
@@ -199,7 +219,13 @@ RunResult run_tcp(const std::vector<service::PartitionRequest>& reqs,
   std::string line;
   while (std::getline(in, line)) {
     if (trim(line) == "END") break;
-    if (!trim(line).empty()) std::cout << line << '\n';
+    if (trim(line).empty()) continue;
+    std::cout << line << '\n';
+    // "METRIC <key> <value>" lines feed the post-run assertions
+    // (--expect-disk-hit-rate).
+    const std::vector<std::string> toks = split_ws(line);
+    if (toks.size() == 3 && toks[0] == "METRIC")
+      run.metrics[toks[1]] = parse_double(toks[2], "metric value");
   }
   out << "QUIT\n";
   out.flush();
@@ -333,6 +359,20 @@ int main(int argc, char** argv) {
   cli.add_flag("kill-shard-at", "-1",
                "sharded mode: hard-kill the primary shard of this request "
                "index mid-run in every multi-shard topology (-1 = never)");
+  cli.add_flag("cache-dir", "",
+               "in-process mode: persistent tier-2 basis store directory "
+               "(empty disables the tier)");
+  cli.add_flag("disk-budget-mb", "1024",
+               "in-process mode: tier-2 byte budget in MiB");
+  cli.add_flag("dump-responses", "",
+               "write every response's id-neutralized wire bytes to this "
+               "file (restart-recovery audits)");
+  cli.add_flag("check-responses", "",
+               "compare this run's responses byte-for-byte against a file "
+               "written by --dump-responses; mismatches fail the run");
+  cli.add_flag("expect-disk-hit-rate", "-1",
+               "fail unless storage_disk_hits / (hits + misses) from the "
+               "post-run metrics reaches this fraction (-1 disables)");
   try {
     if (!cli.parse(argc, argv)) return 0;
     // Shards die mid-write in this harness by design; that must error a
@@ -389,6 +429,9 @@ int main(int argc, char** argv) {
       opts.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
       opts.cache.max_bytes =
           static_cast<std::size_t>(cli.get_int("cache-mb")) << 20;
+      opts.cache.cache_dir = cli.get("cache-dir");
+      opts.cache.disk_budget_bytes =
+          static_cast<std::size_t>(cli.get_int("disk-budget-mb")) << 20;
       run = run_inproc(reqs, opts);
     } else {
       const std::vector<std::string> parts = split_char(connect, ':');
@@ -418,6 +461,62 @@ int main(int argc, char** argv) {
     if (errors != 0) {
       std::fprintf(stderr, "loadgen: FAIL: %zu requests errored\n", errors);
       return 1;
+    }
+
+    // Restart-recovery audits: the id-neutralized response bytes of one
+    // run, dumped to a file, must match a later run over a restarted
+    // server byte for byte — disk-served warm responses included.
+    std::string blob;
+    for (const auto& resp : run.responses)
+      blob += strip_id(response_wire(resp), resp.id);
+    const std::string dump_path = cli.get("dump-responses");
+    if (!dump_path.empty()) {
+      std::ofstream dump(dump_path, std::ios::binary);
+      dump << blob;
+      if (!dump)
+        throw Error("loadgen: cannot write --dump-responses file " +
+                    dump_path);
+      std::printf("loadgen: responses dumped to %s (%zu bytes)\n",
+                  dump_path.c_str(), blob.size());
+    }
+    const std::string check_path = cli.get("check-responses");
+    if (!check_path.empty()) {
+      std::ifstream check(check_path, std::ios::binary);
+      if (!check)
+        throw Error("loadgen: cannot read --check-responses file " +
+                    check_path);
+      std::stringstream expect;
+      expect << check.rdbuf();
+      if (expect.str() != blob) {
+        std::fprintf(stderr,
+                     "loadgen: FAIL: responses differ from %s (%zu vs %zu "
+                     "bytes)\n",
+                     check_path.c_str(), blob.size(), expect.str().size());
+        return 1;
+      }
+      std::printf("loadgen: responses byte-identical to %s\n",
+                  check_path.c_str());
+    }
+
+    const double want_disk_rate = cli.get_double("expect-disk-hit-rate");
+    if (want_disk_rate >= 0.0) {
+      const double hits = run.metrics.count("storage_disk_hits") != 0
+                              ? run.metrics.at("storage_disk_hits")
+                              : 0.0;
+      const double misses = run.metrics.count("storage_disk_misses") != 0
+                                ? run.metrics.at("storage_disk_misses")
+                                : 0.0;
+      const double rate =
+          hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+      std::printf("loadgen: disk hit rate %.1f%% (%g hits, %g misses)\n",
+                  100.0 * rate, hits, misses);
+      if (rate < want_disk_rate) {
+        std::fprintf(stderr,
+                     "loadgen: FAIL: disk hit rate %.3f below the expected "
+                     "%.3f\n",
+                     rate, want_disk_rate);
+        return 1;
+      }
     }
     return 0;
   } catch (const Error& e) {

@@ -87,6 +87,11 @@ int main(int argc, char** argv) {
   cli.add_flag("workers", "2", "local fallback engine worker threads");
   cli.add_flag("cache-mb", "64",
                "local fallback embedding-cache budget in MiB");
+  cli.add_flag("cache-dir", "",
+               "persistent tier-2 basis store for the local fallback engine "
+               "(empty disables the tier)");
+  cli.add_flag("disk-budget-mb", "1024",
+               "local fallback tier-2 byte budget in MiB");
   cli.add_flag("threads", "0",
                "local fallback compute threads (0 = auto)");
   cli.add_flag("max-payload-mb", "256",
@@ -113,6 +118,9 @@ int main(int argc, char** argv) {
     opts.local.num_workers = static_cast<std::size_t>(cli.get_int("workers"));
     opts.local.cache.max_bytes =
         static_cast<std::size_t>(cli.get_int("cache-mb")) << 20;
+    opts.local.cache.cache_dir = cli.get("cache-dir");
+    opts.local.cache.disk_budget_bytes =
+        static_cast<std::size_t>(cli.get_int("disk-budget-mb")) << 20;
     opts.local.parallel = ParallelConfig::with_threads(
         static_cast<std::size_t>(cli.get_int("threads")));
     service::ShardRouter router(opts);

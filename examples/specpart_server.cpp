@@ -46,6 +46,12 @@ int main(int argc, char** argv) {
                "embedding-cache byte budget in MiB (0 disables caching)");
   cli.add_flag("quantum", "8",
                "eigensolve dimension quantum (see docs/SERVING.md)");
+  cli.add_flag("cache-dir", "",
+               "directory for the persistent tier-2 basis store (empty "
+               "disables the tier; see docs/SERVING.md)");
+  cli.add_flag("disk-budget-mb", "1024",
+               "tier-2 store byte budget in MiB (LRU files beyond it are "
+               "deleted)");
   cli.add_flag("deadline", "0",
                "per-request compute budget in seconds (0 = unlimited)");
   cli.add_flag("threads", "0",
@@ -64,6 +70,9 @@ int main(int argc, char** argv) {
     opts.cache.max_bytes =
         static_cast<std::size_t>(cli.get_int("cache-mb")) << 20;
     opts.cache.dim_quantum = static_cast<std::size_t>(cli.get_int("quantum"));
+    opts.cache.cache_dir = cli.get("cache-dir");
+    opts.cache.disk_budget_bytes =
+        static_cast<std::size_t>(cli.get_int("disk-budget-mb")) << 20;
     opts.deadline_seconds = cli.get_double("deadline");
     opts.parallel =
         ParallelConfig::with_threads(static_cast<std::size_t>(cli.get_int("threads")));

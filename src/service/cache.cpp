@@ -34,9 +34,29 @@ spectral::EigenBasis slice_basis(const spectral::EigenBasis& full,
   return out;
 }
 
+/// Solver/strategy tokens of the options that produce a basis, recorded
+/// in the spilled file header for operators inspecting a store directory.
+std::string solver_token_of(const spectral::EmbeddingOptions& opts) {
+  return std::string(core::solver_backend_token(opts.solver.backend));
+}
+std::string strategy_token_of(const spectral::EmbeddingOptions& opts) {
+  return std::string(core::solver_strategy_token(opts.solver.strategy));
+}
+
 }  // namespace
 
-EmbeddingCache::EmbeddingCache(EmbeddingCacheOptions opts) : opts_(opts) {}
+EmbeddingCache::EmbeddingCache(EmbeddingCacheOptions opts)
+    : opts_(std::move(opts)) {
+  // A misconfigured --cache-dir (uncreatable directory) throws here:
+  // failing fast at startup beats silently serving without durability.
+  if (!opts_.cache_dir.empty() && opts_.max_bytes > 0) {
+    storage::StoreOptions store;
+    store.dir = opts_.cache_dir;
+    store.budget_bytes = opts_.disk_budget_bytes;
+    store.chunk_cols = opts_.disk_chunk_cols;
+    disk_ = std::make_unique<storage::StoreIndex>(std::move(store));
+  }
+}
 
 std::size_t EmbeddingCache::quantized_count(std::size_t count) const {
   const std::size_t q = std::max<std::size_t>(1, opts_.dim_quantum);
@@ -142,13 +162,15 @@ spectral::EigenBasis EmbeddingCache::compute(
                   cm.build_options().max_net_size, opts, solve_count);
   if (spectral::EigenBasis hit; lookup(key, opts.count, diag, hit))
     return hit;  // the model was never expanded
+  if (spectral::EigenBasis hit; disk_lookup(key, opts.count, opts, diag, hit))
+    return hit;  // still never expanded: tier 2 is keyed the same way
 
   spectral::EmbeddingOptions solve_opts = opts;
   solve_opts.count = solve_count;
   spectral::EigenBasis full =
       spectral::compute_eigenbasis(cm.laplacian(diag), solve_opts, diag,
                                    budget);
-  return insert(key, std::move(full), opts.count, diag);
+  return insert(key, std::move(full), opts.count, opts, diag);
 }
 
 spectral::EigenBasis EmbeddingCache::compute(
@@ -161,6 +183,8 @@ spectral::EigenBasis EmbeddingCache::compute(
   const Fingerprint key = eigen_key(g, opts, solve_count);
   if (spectral::EigenBasis hit; lookup(key, opts.count, diag, hit))
     return hit;
+  if (spectral::EigenBasis hit; disk_lookup(key, opts.count, opts, diag, hit))
+    return hit;
 
   // Miss: solve at the quantized dimension outside the lock (concurrent
   // misses on the same key both solve; the solver is deterministic, so
@@ -169,7 +193,7 @@ spectral::EigenBasis EmbeddingCache::compute(
   solve_opts.count = solve_count;
   spectral::EigenBasis full =
       spectral::compute_eigenbasis(g, solve_opts, diag, budget);
-  return insert(key, std::move(full), opts.count, diag);
+  return insert(key, std::move(full), opts.count, opts, diag);
 }
 
 bool EmbeddingCache::lookup(const Fingerprint& key, std::size_t count,
@@ -191,10 +215,27 @@ bool EmbeddingCache::lookup(const Fingerprint& key, std::size_t count,
   return true;
 }
 
-spectral::EigenBasis EmbeddingCache::insert(const Fingerprint& key,
-                                            spectral::EigenBasis full,
-                                            std::size_t count,
-                                            Diagnostics* diag) {
+bool EmbeddingCache::disk_lookup(const Fingerprint& key, std::size_t count,
+                                 const spectral::EmbeddingOptions& opts,
+                                 Diagnostics* diag,
+                                 spectral::EigenBasis& out) {
+  if (disk_ == nullptr) return false;
+  Timer timer;
+  // Always load the *full* stored basis (d_req = 0): promoting a prefix
+  // would let a later larger-d request in the same quantized bucket
+  // receive a truncated slice, breaking the determinism contract.
+  std::optional<spectral::EigenBasis> full = disk_->load(key);
+  if (!full) return false;
+  promote(key, *full, opts);
+  out = slice_basis(*full, count);
+  if (diag != nullptr)
+    diag->record_stage("embedding_cache_disk_hit", timer.seconds());
+  return true;
+}
+
+spectral::EigenBasis EmbeddingCache::insert(
+    const Fingerprint& key, spectral::EigenBasis full, std::size_t count,
+    const spectral::EmbeddingOptions& opts, Diagnostics* diag) {
   const bool clean =
       full.converged && !full.truncated && !full.budget_exhausted;
   spectral::EigenBasis sliced = slice_basis(full, count);
@@ -203,42 +244,93 @@ spectral::EigenBasis EmbeddingCache::insert(const Fingerprint& key,
   sliced.solve_flops = full.solve_flops;
   sliced.solve_bytes_moved = full.solve_bytes_moved;
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  const std::size_t bytes = basis_bytes(full);
-  if (!clean || bytes > opts_.max_bytes) {
-    ++stats_.uncacheable;
-    if (diag != nullptr && clean)
-      diag->warn("embedding_cache",
-                 strprintf("basis of %zu bytes exceeds the %zu-byte cache "
-                           "budget; not cached",
-                           bytes, opts_.max_bytes));
-    return sliced;
+  // Write-behind spill before the tier-1 insert, outside the lock (the
+  // write is eigensolve-sized I/O). The disk tier takes every clean
+  // basis, even one too large for the in-memory budget — a disk budget
+  // bigger than RAM is the point of the tier. Failures are counted in
+  // the store's stats and degrade to nothing: tier 1 proceeds normally.
+  if (disk_ != nullptr && clean)
+    disk_->store(key, full, solver_token_of(opts), strategy_token_of(opts));
+
+  std::vector<std::pair<Fingerprint, Entry>> spilled;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t bytes = basis_bytes(full);
+    if (!clean || bytes > opts_.max_bytes) {
+      ++stats_.uncacheable;
+      if (diag != nullptr && clean)
+        diag->warn("embedding_cache",
+                   strprintf("basis of %zu bytes exceeds the %zu-byte cache "
+                             "budget; not cached",
+                             bytes, opts_.max_bytes));
+      return sliced;
+    }
+    if (entries_.find(key) == entries_.end()) {  // first concurrent solve wins
+      lru_.push_front(key);
+      Entry entry;
+      entry.basis = std::move(full);
+      entry.bytes = bytes;
+      entry.solver_token = solver_token_of(opts);
+      entry.strategy_token = strategy_token_of(opts);
+      entry.lru_pos = lru_.begin();
+      entries_.emplace(key, std::move(entry));
+      stats_.bytes += bytes;
+      stats_.entries = entries_.size();
+      ++stats_.insertions;
+      evict_to_budget_locked(spilled);
+    }
   }
-  if (entries_.find(key) == entries_.end()) {  // first concurrent solve wins
+  spill(spilled);
+  return sliced;
+}
+
+void EmbeddingCache::promote(const Fingerprint& key,
+                             const spectral::EigenBasis& full,
+                             const spectral::EmbeddingOptions& opts) {
+  std::vector<std::pair<Fingerprint, Entry>> spilled;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t bytes = basis_bytes(full);
+    if (bytes > opts_.max_bytes) return;  // disk-only entry; serve the slice
+    if (entries_.find(key) != entries_.end()) return;
     lru_.push_front(key);
     Entry entry;
-    entry.basis = std::move(full);
+    entry.basis = full;
     entry.bytes = bytes;
+    entry.solver_token = solver_token_of(opts);
+    entry.strategy_token = strategy_token_of(opts);
     entry.lru_pos = lru_.begin();
     entries_.emplace(key, std::move(entry));
     stats_.bytes += bytes;
     stats_.entries = entries_.size();
     ++stats_.insertions;
-    evict_to_budget_locked();
+    evict_to_budget_locked(spilled);
   }
-  return sliced;
+  spill(spilled);
 }
 
-void EmbeddingCache::evict_to_budget_locked() {
+void EmbeddingCache::evict_to_budget_locked(
+    std::vector<std::pair<Fingerprint, Entry>>& spilled) {
   while (stats_.bytes > opts_.max_bytes && lru_.size() > 1) {
     const Fingerprint victim = lru_.back();
     auto it = entries_.find(victim);
     stats_.bytes -= it->second.bytes;
+    spilled.emplace_back(victim, std::move(it->second));
     entries_.erase(it);
     lru_.pop_back();
     ++stats_.evictions;
   }
   stats_.entries = entries_.size();
+}
+
+void EmbeddingCache::spill(
+    const std::vector<std::pair<Fingerprint, Entry>>& spilled) {
+  if (disk_ == nullptr) return;
+  // Spill-on-evict: usually a no-op (the insert-time spill already
+  // persisted the entry and store() is idempotent), but it re-persists
+  // entries whose earlier spill failed or was evicted from the disk tier.
+  for (const auto& [key, entry] : spilled)
+    disk_->store(key, entry.basis, entry.solver_token, entry.strategy_token);
 }
 
 core::EmbeddingProvider EmbeddingCache::provider() {
@@ -252,6 +344,10 @@ core::EmbeddingProvider EmbeddingCache::provider() {
 EmbeddingCacheStats EmbeddingCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+storage::StoreStats EmbeddingCache::disk_stats() const {
+  return disk_ == nullptr ? storage::StoreStats{} : disk_->stats();
 }
 
 void EmbeddingCache::clear() {

@@ -24,15 +24,31 @@
 // Eviction is byte-budgeted LRU over the stored bases. Only clean bases
 // (fully converged, untruncated, not budget-limited) are inserted, so a
 // degraded solve can never poison future requests.
+//
+// *Tier 2 — the persistent basis store.* When `cache_dir` is configured,
+// a storage::StoreIndex sits beneath the in-memory tier: every clean
+// solve is spilled write-behind (insert and evict both persist), and a
+// tier-1 miss consults the disk before solving. A disk hit promotes the
+// *full* stored basis back to tier 1 — promoting a prefix would let a
+// later larger-d request in the same quantized bucket receive a
+// truncated slice — records an `embedding_cache_disk_hit` stage, and
+// serves bytes identical to a cold compute (the store round-trips fp64
+// bit patterns exactly). Disk failures of any kind degrade to recompute;
+// the tier can make the service faster, never wrong and never down.
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/drivers.h"
 #include "spectral/embedding.h"
+#include "storage/store_index.h"
 #include "util/hashing.h"
 
 namespace specpart::service {
@@ -46,6 +62,14 @@ struct EmbeddingCacheOptions {
   /// quantum (see file comment). 1 = no quantization: only exact-d repeats
   /// hit the cache.
   std::size_t dim_quantum = 8;
+  /// Directory for the persistent tier-2 basis store. Empty (the default)
+  /// disables the tier entirely — tier-1-only behavior, byte-identical to
+  /// a build without src/storage.
+  std::string cache_dir;
+  /// Byte budget of the tier-2 directory; LRU files beyond it are deleted.
+  std::size_t disk_budget_bytes = 1ull << 30;
+  /// Columns per chunk of newly spilled basis files.
+  std::size_t disk_chunk_cols = storage::kDefaultChunkCols;
 };
 
 /// Monotonic counters; snapshot-consistent (taken under the cache lock).
@@ -102,7 +126,14 @@ class EmbeddingCache {
 
   EmbeddingCacheStats stats() const;
 
-  /// Drops every entry (counters are kept).
+  /// Whether the persistent tier is active (cache_dir configured, opened
+  /// successfully, and caching enabled).
+  bool disk_enabled() const { return disk_ != nullptr; }
+
+  /// Tier-2 counters (zeroes when the tier is disabled).
+  storage::StoreStats disk_stats() const;
+
+  /// Drops every in-memory entry (counters and the disk tier are kept).
   void clear();
 
   const EmbeddingCacheOptions& options() const { return opts_; }
@@ -139,6 +170,10 @@ class EmbeddingCache {
   struct Entry {
     spectral::EigenBasis basis;
     std::size_t bytes = 0;
+    /// Solver/strategy tokens of the options that produced the basis,
+    /// kept so an evicted entry can still be spilled to tier 2.
+    std::string solver_token;
+    std::string strategy_token;
     /// Position in lru_ (front = most recently used).
     std::list<Fingerprint>::iterator lru_pos;
   };
@@ -148,15 +183,36 @@ class EmbeddingCache {
   bool lookup(const Fingerprint& key, std::size_t count, Diagnostics* diag,
               spectral::EigenBasis& out);
 
+  /// Tier-2 path (tier-1 miss): loads the full stored basis from disk,
+  /// promotes it to tier 1, records the disk-hit stage and writes the
+  /// slice into `out`. False on a disk miss (or disabled tier).
+  bool disk_lookup(const Fingerprint& key, std::size_t count,
+                   const spectral::EmbeddingOptions& opts, Diagnostics* diag,
+                   spectral::EigenBasis& out);
+
   /// Miss path: inserts `full` under `key` when it is clean and fits the
-  /// budget, and returns it sliced to `count`.
+  /// budget (spilling it write-behind to tier 2 first), and returns it
+  /// sliced to `count`.
   spectral::EigenBasis insert(const Fingerprint& key,
                               spectral::EigenBasis full, std::size_t count,
+                              const spectral::EmbeddingOptions& opts,
                               Diagnostics* diag);
 
-  void evict_to_budget_locked();
+  /// Inserts an already-persisted basis into tier 1 (the promotion half
+  /// of disk_lookup); spills any entries it evicts.
+  void promote(const Fingerprint& key, const spectral::EigenBasis& full,
+               const spectral::EmbeddingOptions& opts);
+
+  /// Evicts LRU entries beyond the byte budget into `spilled` so the
+  /// caller can persist them after releasing the lock.
+  void evict_to_budget_locked(
+      std::vector<std::pair<Fingerprint, Entry>>& spilled);
+
+  /// Write-behind: persists evicted entries not already on disk.
+  void spill(const std::vector<std::pair<Fingerprint, Entry>>& spilled);
 
   EmbeddingCacheOptions opts_;
+  std::unique_ptr<storage::StoreIndex> disk_;
   mutable std::mutex mutex_;
   std::list<Fingerprint> lru_;
   std::unordered_map<Fingerprint, Entry, FingerprintHash> entries_;

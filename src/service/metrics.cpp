@@ -101,12 +101,32 @@ std::vector<std::pair<std::string, double>> MetricsSnapshot::key_values()
       {"cache_bytes", static_cast<double>(cache_bytes)},
       {"cache_entries", static_cast<double>(cache_entries)},
       {"cache_hit_rate", cache_hit_rate},
+  };
+  if (storage.present) {
+    kv.emplace_back("storage_disk_hits",
+                    static_cast<double>(storage.disk_hits));
+    kv.emplace_back("storage_disk_misses",
+                    static_cast<double>(storage.disk_misses));
+    kv.emplace_back("storage_spills", static_cast<double>(storage.spills));
+    kv.emplace_back("storage_spill_failures",
+                    static_cast<double>(storage.spill_failures));
+    kv.emplace_back("storage_evictions",
+                    static_cast<double>(storage.evictions));
+    kv.emplace_back("storage_corrupt_quarantined",
+                    static_cast<double>(storage.corrupt_quarantined));
+    kv.emplace_back("storage_bytes_on_disk",
+                    static_cast<double>(storage.bytes_on_disk));
+    kv.emplace_back("storage_disk_entries",
+                    static_cast<double>(storage.disk_entries));
+  }
+  const std::vector<std::pair<std::string, double>> latency_kv = {
       {"latency_count", static_cast<double>(latency.total)},
       {"latency_mean_seconds", latency.mean()},
       {"latency_p50_seconds", latency.quantile(0.50)},
       {"latency_p95_seconds", latency.quantile(0.95)},
       {"latency_p99_seconds", latency.quantile(0.99)},
   };
+  kv.insert(kv.end(), latency_kv.begin(), latency_kv.end());
   if (router.present) {
     kv.emplace_back("router_requests", static_cast<double>(router.requests));
     kv.emplace_back("router_failovers", static_cast<double>(router.failovers));
@@ -154,6 +174,18 @@ std::string MetricsSnapshot::render_text() const {
                    static_cast<unsigned long long>(cache_lookups),
                    static_cast<unsigned long long>(cache_evictions),
                    cache_entries, cache_bytes);
+  if (storage.present)
+    out << strprintf(
+        "  storage       disk_hits=%llu disk_misses=%llu spills=%llu "
+        "(failed %llu) evictions=%llu quarantined=%llu entries=%zu "
+        "bytes=%zu\n",
+        static_cast<unsigned long long>(storage.disk_hits),
+        static_cast<unsigned long long>(storage.disk_misses),
+        static_cast<unsigned long long>(storage.spills),
+        static_cast<unsigned long long>(storage.spill_failures),
+        static_cast<unsigned long long>(storage.evictions),
+        static_cast<unsigned long long>(storage.corrupt_quarantined),
+        storage.disk_entries, storage.bytes_on_disk);
   out << strprintf("  latency       count=%llu mean=%.3fms p50=%.3fms "
                    "p95=%.3fms p99=%.3fms\n",
                    static_cast<unsigned long long>(latency.total),

@@ -92,6 +92,23 @@ struct RouterMetricsSection {
   std::vector<RouterShardMetrics> shards;
 };
 
+/// Persistent tier-2 basis store counters, filled by the service from
+/// storage::StoreStats when the tier is configured. `present` is false
+/// when the tier is disabled, and absent sections emit nothing — a
+/// tier-less deployment's METRICS frame bytes are unchanged by this
+/// section existing (same contract as the router section).
+struct StorageMetricsSection {
+  bool present = false;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t disk_misses = 0;
+  std::uint64_t spills = 0;
+  std::uint64_t spill_failures = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t corrupt_quarantined = 0;
+  std::size_t bytes_on_disk = 0;
+  std::size_t disk_entries = 0;
+};
+
 /// One consistent view of the service counters plus everything derived
 /// from them. Produced by ServiceMetrics::snapshot() (and enriched with
 /// cache stats by PartitionService::snapshot(), and with the router
@@ -114,6 +131,9 @@ struct MetricsSnapshot {
   std::size_t cache_bytes = 0;
   std::size_t cache_entries = 0;
   double cache_hit_rate = 0.0;
+
+  /// Persistent tier-2 store (present only when cache_dir is configured).
+  StorageMetricsSection storage;
 
   /// Router tier (present only in ShardRouter snapshots).
   RouterMetricsSection router;

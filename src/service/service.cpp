@@ -181,6 +181,18 @@ MetricsSnapshot PartitionService::snapshot() const {
   s.cache_bytes = c.bytes;
   s.cache_entries = c.entries;
   s.cache_hit_rate = c.hit_rate();
+  if (cache_.disk_enabled()) {
+    const storage::StoreStats d = cache_.disk_stats();
+    s.storage.present = true;
+    s.storage.disk_hits = d.hits;
+    s.storage.disk_misses = d.misses;
+    s.storage.spills = d.spills;
+    s.storage.spill_failures = d.spill_failures;
+    s.storage.evictions = d.evictions;
+    s.storage.corrupt_quarantined = d.corrupt_quarantined;
+    s.storage.bytes_on_disk = d.bytes_on_disk;
+    s.storage.disk_entries = d.entries;
+  }
   return s;
 }
 

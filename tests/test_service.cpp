@@ -4,7 +4,9 @@
 // contract (byte-identical responses cold, cached, and at any kernel
 // thread count).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
 #include <future>
 #include <sstream>
 #include <thread>
@@ -831,6 +833,44 @@ TEST(Metrics, SnapshotCountsByStatusAndRendersPercentiles) {
 
   // The wire frame and the text rendering derive from one flattening.
   EXPECT_FALSE(s.key_values().empty());
+}
+
+TEST(Service, RestartServesWarmFromDiskTierByteIdentically) {
+  // The tier-2 restart contract: a brand-new service process over the
+  // same --cache-dir serves the very first request from disk — no
+  // eigensolve — with response bytes identical to the cold compute.
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("specpart_svc_restart_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+
+  ServiceOptions opts;
+  opts.num_workers = 0;
+  opts.cache.cache_dir = dir;
+
+  std::string cold;
+  {
+    PartitionService svc(opts);
+    Diagnostics diag;
+    cold = wire(svc.execute(make_request(), &diag));
+    EXPECT_TRUE(has_stage(diag, "eigensolve"));
+    EXPECT_EQ(svc.snapshot().storage.spills, 1u);
+  }  // "process exit": tier 1 dies with the service
+
+  {
+    PartitionService svc(opts);  // "restart" over the same directory
+    Diagnostics diag;
+    const std::string warm = wire(svc.execute(make_request(), &diag));
+    EXPECT_EQ(cold, warm);
+    EXPECT_TRUE(has_stage(diag, "embedding_cache_disk_hit"));
+    EXPECT_FALSE(has_stage(diag, "eigensolve"));
+    const MetricsSnapshot snap = svc.snapshot();
+    EXPECT_TRUE(snap.storage.present);
+    EXPECT_EQ(snap.storage.disk_hits, 1u);
+  }
+  fs::remove_all(dir);
 }
 
 TEST(PipelineConfig, TokensRoundTrip) {
