@@ -30,6 +30,8 @@
 #include "model/assembly.h"
 #include "model/clique_models.h"
 #include "multilevel/vcycle.h"
+#include "part/fm.h"
+#include "part/sweep_cut.h"
 #include "seed_assembly.h"
 #include "service/cache.h"
 #include "service/service.h"
@@ -62,6 +64,11 @@ struct KernelResult {
   std::size_t levels = 0;
   double coarsening_ratio = 0.0;
   std::vector<multilevel::LevelStats> per_level = {};
+  // The sweep_cut row reports the conductance of the normalized-objective
+  // sweep-cut split against the FM min-cut split on the same netlist.
+  bool has_conductance = false;
+  double sweep_phi = 0.0;
+  double fm_phi = 0.0;
 };
 
 void attach_counters(KernelResult& r, const linalg::LanczosResult& solve) {
@@ -118,8 +125,10 @@ int main(int argc, char** argv) {
                "pairs, flops_per_pair, bytes_per_pair) is present and "
                "nonzero in the written JSON, the multilevel row "
                "reports a live hierarchy (levels, coarsening_ratio, "
-               "per_level), and the cache_disk_warm row served the tier-2 "
-               "read bit-identically and faster than the cold compute");
+               "per_level), the cache_disk_warm row served the tier-2 "
+               "read bit-identically and faster than the cold compute, and "
+               "the sweep_cut row's normalized-objective conductance beat "
+               "the FM split's");
   try {
     if (!cli.parse(argc, argv)) return 0;
     const bool smoke = cli.get_bool("smoke");
@@ -448,6 +457,52 @@ int main(int argc, char** argv) {
       results.push_back(r);
     }
 
+    {
+      // Objective-model quality row: the conductance phi of the
+      // normalized-objective sweep-cut split against the FM min-cut
+      // split's phi on the same mixed netlist, at the same balance floor.
+      // Like the "assembly" row this reuses the two timing columns for a
+      // cross-method comparison: serial_seconds is the full normalized
+      // melo pipeline (eigensolve on D^{-1/2} L D^{-1/2} + sweep cut) and
+      // parallel_seconds is the FM pass, so `speedup` is not a threading
+      // ratio here. The quality contract — sweep phi <= FM phi — is
+      // enforced inline; a violation fails the whole run, smoke or full.
+      const std::size_t n = smoke ? scaled(1500) : scaled(5000);
+      const graph::Hypergraph h = make_netlist(n);
+      KernelResult r{"sweep_cut", "n=" + std::to_string(n) +
+                                      " d=10 serial=sweep parallel=fm"};
+      core::MeloOptions m;
+      m.num_eigenvectors = 10;
+      m.num_starts = 3;
+      m.objective = core::ObjectiveModel::kNormalizedSymmetric;
+      m.parallel = serial;
+      {
+        Timer t;
+        const core::MeloBipartitionResult res =
+            core::melo_bipartition(h, m, 0.10);
+        r.serial_seconds = t.seconds();
+        r.sweep_phi = res.conductance;
+      }
+      {
+        part::FmOptions fo;
+        fo.balance = {0.10, 0.90};
+        Timer t;
+        const part::FmResult res = part::fm_bipartition(h, fo);
+        r.parallel_seconds = t.seconds();
+        r.fm_phi = part::conductance(h, res.partition);
+      }
+      r.has_conductance = true;
+      if (!(r.sweep_phi > 0.0) || !(r.fm_phi > 0.0) ||
+          r.sweep_phi > r.fm_phi) {
+        std::fprintf(stderr,
+                     "bench_report_tool: sweep_cut: normalized sweep-cut "
+                     "conductance %.6g does not beat the FM split's %.6g\n",
+                     r.sweep_phi, r.fm_phi);
+        return 1;
+      }
+      results.push_back(r);
+    }
+
     const std::string out = cli.get("out");
     std::FILE* f = std::fopen(out.c_str(), "w");
     SP_CHECK_INPUT(f != nullptr, "cannot open --out file " + out);
@@ -475,6 +530,9 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(r.pairs),
                      static_cast<unsigned long long>(r.flops_per_pair),
                      static_cast<unsigned long long>(r.bytes_per_pair));
+      if (r.has_conductance)
+        std::fprintf(f, ", \"sweep_phi\": %.6f, \"fm_phi\": %.6f",
+                     r.sweep_phi, r.fm_phi);
       if (r.has_multilevel) {
         std::fprintf(f, ", \"levels\": %zu, \"coarsening_ratio\": %.2f",
                      r.levels, r.coarsening_ratio);
@@ -500,6 +558,8 @@ int main(int argc, char** argv) {
         std::printf("   %llu pairs, %.2f MB/pair",
                     static_cast<unsigned long long>(r.pairs),
                     static_cast<double>(r.bytes_per_pair) / 1e6);
+      if (r.has_conductance)
+        std::printf("   phi sweep %.4f vs fm %.4f", r.sweep_phi, r.fm_phi);
       std::printf("\n");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -572,9 +632,24 @@ int main(int argc, char** argv) {
                      "missing or degenerate\n");
         return 1;
       }
+      // The sweep_cut row's quality contract (sweep phi <= FM phi, both
+      // positive) is enforced inline above; here only its presence can
+      // regress.
+      bool sweep_ok = false;
+      for (const KernelResult& r : results)
+        if (r.name == "sweep_cut")
+          sweep_ok = r.has_conductance && r.sweep_phi > 0.0 &&
+                     r.sweep_phi <= r.fm_phi;
+      if (!sweep_ok) {
+        std::fprintf(stderr,
+                     "bench_report_tool: --smoke: sweep_cut row missing or "
+                     "degenerate\n");
+        return 1;
+      }
       std::printf("smoke: counter fields present and nonzero on %zu rows, "
                   "multilevel hierarchy live (%s), tier-2 disk-warm read "
-                  "bit-identical and faster than cold\n",
+                  "bit-identical and faster than cold, sweep-cut phi beat "
+                  "the FM split\n",
                   counter_rows, "levels/coarsening_ratio/per_level");
     }
     return 0;

@@ -47,7 +47,10 @@ int main(int argc, char** argv) {
                "compute-kernel threads (1 = serial reference, 0 = auto: "
                "$SPECPART_THREADS or hardware concurrency)");
   cli.add_flag("solver", "scalar",
-               "eigensolver backend for melo: scalar | block");
+               "eigensolver backend for melo: " + core::solver_backend_tokens());
+  cli.add_flag("objective", "unnormalized",
+               "spectral objective for melo: " + core::objective_model_tokens() +
+                   " (normalized = conductance sweep cut)");
   cli.add_flag("multilevel", "false",
                "melo: solve the eigenbasis through the coarsen/solve/refine "
                "V-cycle (falls back to a flat solve if refinement cannot "
@@ -95,6 +98,8 @@ int main(int argc, char** argv) {
         req.pipeline.num_starts = 3;
         req.pipeline.solver.backend =
             core::parse_solver_backend(cli.get("solver"));
+        req.pipeline.objective =
+            core::parse_objective_model(cli.get("objective"));
         if (cli.get_bool("multilevel"))
           req.pipeline.solver.strategy = core::SolverStrategy::kMultilevel;
 
@@ -161,6 +166,7 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(cli.get_int("d"));
       req.pipeline.num_starts = 3;
       req.pipeline.solver.backend = core::parse_solver_backend(cli.get("solver"));
+      req.pipeline.objective = core::parse_objective_model(cli.get("objective"));
       if (cli.get_bool("multilevel"))
         req.pipeline.solver.strategy = core::SolverStrategy::kMultilevel;
 
@@ -185,6 +191,7 @@ int main(int argc, char** argv) {
       m.num_eigenvectors = static_cast<std::size_t>(cli.get_int("d"));
       m.num_starts = 3;
       m.solver.backend = core::parse_solver_backend(cli.get("solver"));
+      m.objective = core::parse_objective_model(cli.get("objective"));
       if (cli.get_bool("multilevel"))
         m.solver.strategy = core::SolverStrategy::kMultilevel;
       m.diagnostics = &diag;
@@ -200,6 +207,8 @@ int main(int argc, char** argv) {
         solver.eigen_converged = r.eigen_converged;
         solver.eigenvectors_used = r.eigenvectors_used;
         solver.budget_exhausted = r.budget_exhausted;
+        if (m.objective == core::ObjectiveModel::kNormalizedSymmetric)
+          std::printf("conductance = %.6g\n", r.conductance);
         p = r.partition;
       } else {
         const auto r = core::melo_multiway(h, k, m);

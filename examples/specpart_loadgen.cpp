@@ -66,7 +66,7 @@ std::string response_wire(const service::PartitionResponse& resp) {
 /// byte identical to the pre-solver-field protocol).
 std::vector<service::PartitionRequest> make_workload(
     std::size_t count, std::uint64_t seed, core::SolverBackend solver,
-    core::SolverStrategy strategy) {
+    core::SolverStrategy strategy, core::ObjectiveModel objective) {
   std::vector<graph::Hypergraph> pool;
   for (std::size_t i = 0; i < 5; ++i) {
     graph::GeneratorConfig cfg;
@@ -100,6 +100,7 @@ std::vector<service::PartitionRequest> make_workload(
     req.pipeline.scaling = scalings[rng.next_below(2)];
     req.pipeline.solver.backend = solver;
     req.pipeline.solver.strategy = strategy;
+    req.pipeline.objective = objective;
     reqs.push_back(std::move(req));
   }
   return reqs;
@@ -348,10 +349,16 @@ int main(int argc, char** argv) {
                "host:port of a running specpart_server (empty = in-process)");
   cli.add_flag("window", "16", "TCP mode: pipelining window");
   cli.add_flag("solver", "scalar",
-               "eigensolver backend for every request: scalar | block");
+               "eigensolver backend for every request: " +
+                   core::solver_backend_tokens());
   cli.add_flag("solver-strategy", "flat",
-               "eigensolve orchestration for every request: flat | "
-               "multilevel (byte-identity is audited either way)");
+               "eigensolve orchestration for every request: " +
+                   core::solver_strategy_tokens() +
+                   " (byte-identity is audited either way)");
+  cli.add_flag("objective", "unnormalized",
+               "spectral objective for every request: " +
+                   core::objective_model_tokens() +
+                   " (byte-identity is audited either way)");
   cli.add_flag("shards", "",
                "comma-separated shard counts (e.g. 1,2,4): replay the "
                "workload through an in-process router + TCP shards per "
@@ -383,7 +390,8 @@ int main(int argc, char** argv) {
     const std::vector<service::PartitionRequest> reqs = make_workload(
         count, static_cast<std::uint64_t>(cli.get_int("seed")),
         core::parse_solver_backend(cli.get("solver")),
-        core::parse_solver_strategy(cli.get("solver-strategy")));
+        core::parse_solver_strategy(cli.get("solver-strategy")),
+        core::parse_objective_model(cli.get("objective")));
 
     const std::string shards_spec = cli.get("shards");
     if (!shards_spec.empty()) {

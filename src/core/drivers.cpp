@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 
 #include "core/reduction.h"
 #include "part/objectives.h"
 #include "part/ordering.h"
+#include "part/sweep_cut.h"
 #include "util/error.h"
 #include "util/stringutil.h"
 #include "util/timer.h"
@@ -13,6 +15,34 @@
 namespace specpart::core {
 
 namespace {
+
+/// Eigenpairs requested when num_eigenvectors == 0 (automatic d): enough
+/// spectrum to expose the higher-order Cheeger gap, small enough that the
+/// solve stays cheap.
+constexpr std::size_t kAutoDimensionCap = 16;
+
+/// Spectral-gap-guided d: keep the eigenvalue prefix ending at the largest
+/// relative gap lambda_{i+1} / lambda_i over the nontrivial spectrum (the
+/// higher-order Cheeger heuristic: a big ratio separates the cluster
+/// eigenvalues from the rest). Trivial (~0) eigenvalues are skipped as
+/// candidates, at least two columns are kept, and a gapless spectrum keeps
+/// everything. Deterministic: the first maximal ratio wins.
+std::size_t auto_dimension(const linalg::Vec& values) {
+  const std::size_t m = values.size();
+  if (m < 3) return m;
+  const double eps = 1e-10 * std::max(1.0, std::abs(values[m - 1]));
+  double best_ratio = 0.0;
+  std::size_t best_keep = m;
+  for (std::size_t i = 1; i + 1 < m; ++i) {
+    if (values[i] <= eps) continue;  // still inside the trivial cluster
+    const double ratio = values[i + 1] / values[i];
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best_keep = i + 1;
+    }
+  }
+  return std::max<std::size_t>(best_keep, 2);
+}
 
 /// E(C) of a vertex set in a graph: total weight of edges leaving the set.
 double set_degree(const graph::Graph& g, const std::vector<graph::NodeId>& c,
@@ -30,7 +60,6 @@ double set_degree(const graph::Graph& g, const std::vector<graph::NodeId>& c,
 std::vector<MeloOrderingRun> melo_orderings(const graph::Hypergraph& h,
                                             const MeloOptions& opts) {
   SP_CHECK_INPUT(h.num_nodes() >= 2, "MELO: need at least 2 vertices");
-  SP_CHECK_INPUT(opts.num_eigenvectors >= 1, "MELO: need d >= 1");
 
   Diagnostics* diag = opts.diagnostics;
   ComputeBudget* budget = opts.budget;
@@ -42,12 +71,34 @@ std::vector<MeloOrderingRun> melo_orderings(const graph::Hypergraph& h,
   mbopts.max_clique_pairs = opts.max_clique_pairs;
   mbopts.parallel = opts.parallel;
   const model::CliqueModel cm(h, opts.net_model, mbopts);
-  const spectral::EmbeddingOptions eopts = opts.embedding_options();
-  const spectral::EigenBasis basis =
+  spectral::EmbeddingOptions eopts = opts.embedding_options();
+  // num_eigenvectors == 0 = automatic d: request a fixed slice of the low
+  // spectrum and keep the prefix ending at the largest Cheeger gap below.
+  // The fixed request keeps cache keys and the solve itself deterministic.
+  const bool auto_d = opts.num_eigenvectors == 0;
+  if (auto_d) eopts.count = kAutoDimensionCap;
+  spectral::EigenBasis basis =
       opts.embedding_provider
           ? opts.embedding_provider(cm, eopts, diag, budget)
-          : spectral::compute_eigenbasis(cm.laplacian(diag), eopts, diag,
-                                         budget);
+          : spectral::compute_eigenbasis(
+                cm.operator_matrix(eopts.objective, diag), eopts, diag,
+                budget);
+  if (auto_d && basis.dimension() >= 3) {
+    const std::size_t keep = auto_dimension(basis.values);
+    if (keep < basis.dimension()) {
+      basis.values.resize(keep);
+      linalg::DenseMatrix kept(basis.n, keep);
+      for (std::size_t j = 0; j < keep; ++j)
+        kept.set_col(j, basis.vectors.col(j));
+      basis.vectors = std::move(kept);
+      basis.converged_pairs = std::min(basis.converged_pairs, keep);
+    }
+    // The selection is the requested d now — a kept prefix shorter than
+    // the probe slice is the algorithm working, not a degraded basis.
+    basis.requested = basis.dimension();
+    if (diag != nullptr)
+      diag->add_counter("eigensolve", "auto_d_selected", keep);
+  }
   const double eigen_seconds = eigen_timer.seconds();
 
   // Consume the solver outcome instead of ignoring it: a degraded basis
@@ -121,6 +172,39 @@ std::vector<MeloOrderingRun> melo_orderings(const graph::Hypergraph& h,
       diag->mark_budget_exhausted("ordering");
     runs.push_back(std::move(run));
   }
+
+  if (opts.objective == ObjectiveModel::kNormalizedSymmetric) {
+    // Cheeger sweep candidates: the classical normalized-spectral split
+    // sweeps vertices sorted by the first nontrivial eigenvector of
+    // D^{-1/2} L D^{-1/2}, which carries the Cheeger conductance
+    // guarantee the d-dimensional melo orderings do not. Every further
+    // eigenvector gets its own sweep too (the higher-order Cheeger
+    // orderings — one per column, each an O(n log n) sort). They ride
+    // along as extra runs, so the splitter keeps whichever ordering
+    // yields the lowest objective. Only the normalized pipeline grows
+    // these runs — default-objective results stay bit-identical.
+    const std::size_t first = eopts.skip_trivial ? 0 : 1;
+    for (std::size_t col = std::min(first, d_effective - 1);
+         col < d_effective; ++col) {
+      MeloOrderingRun run;
+      run.h_initial = h0;
+      run.h_final = h0;
+      run.eigen_converged = basis.converged;
+      run.eigenvectors_used = d_effective;
+      run.eigen_seconds = eigen_seconds;
+      run.budget_exhausted = basis.budget_exhausted || !budget_ok(budget);
+      const linalg::Vec f = basis.vectors.col(col);
+      Timer order_timer;
+      run.ordering.resize(h.num_nodes());
+      std::iota(run.ordering.begin(), run.ordering.end(), graph::NodeId{0});
+      std::stable_sort(run.ordering.begin(), run.ordering.end(),
+                       [&f](graph::NodeId a, graph::NodeId b) {
+                         return f[a] < f[b];
+                       });
+      run.ordering_seconds = order_timer.seconds();
+      runs.push_back(std::move(run));
+    }
+  }
   return runs;
 }
 
@@ -129,14 +213,22 @@ MeloBipartitionResult melo_bipartition(const graph::Hypergraph& h,
                                        double min_fraction) {
   const std::vector<MeloOrderingRun> runs = melo_orderings(h, opts);
   StageTimerScope split_scope(opts.diagnostics, "split");
+  // The splitter follows the objective model: the unnormalized pipeline
+  // keeps the paper's min-cut / ratio-cut splits, the normalized pipeline
+  // takes the conductance sweep cut over the same orderings. Both pick the
+  // best run by their own objective value.
+  const bool sweep_cut =
+      opts.objective == ObjectiveModel::kNormalizedSymmetric;
   MeloBipartitionResult best;
   double best_objective = std::numeric_limits<double>::infinity();
   bool have = false;
   for (const MeloOrderingRun& run : runs) {
     const part::SplitResult split =
-        min_fraction > 0.0
-            ? part::best_min_cut_split(h, run.ordering, min_fraction)
-            : part::best_ratio_cut_split(h, run.ordering);
+        sweep_cut
+            ? part::best_conductance_split(h, run.ordering, min_fraction)
+            : (min_fraction > 0.0
+                   ? part::best_min_cut_split(h, run.ordering, min_fraction)
+                   : part::best_ratio_cut_split(h, run.ordering));
     best.ordering_seconds += run.ordering_seconds;
     best.eigen_seconds = run.eigen_seconds;
     best.eigen_converged = run.eigen_converged;
@@ -154,6 +246,7 @@ MeloBipartitionResult melo_bipartition(const graph::Hypergraph& h,
   }
   SP_CHECK_INPUT(have, "MELO bipartition: no feasible split");
   best.ratio_cut = part::ratio_cut(h, best.partition);
+  best.conductance = part::conductance(h, best.partition);
   return best;
 }
 

@@ -27,8 +27,10 @@ namespace specpart::core {
 
 /// Pluggable eigensolve: given the (lazy) clique model and the embedding
 /// options implied by the pipeline config, produce the eigenbasis. The
-/// default (an unset provider) solves model.laplacian() directly — built
-/// fused from the pins, no intermediate Graph; the serving layer installs
+/// default (an unset provider) solves model.operator_matrix(objective)
+/// directly — the Laplacian built fused from the pins (or its
+/// degree-normalized rescale), no intermediate Graph; the serving layer
+/// installs
 /// a content-addressed cache here, keyed on the hypergraph itself, so
 /// repeated requests skip both clique expansion and Lanczos. A provider
 /// MUST return the same basis the direct call would (or a deterministic
@@ -80,6 +82,10 @@ struct MeloBipartitionResult {
   std::size_t split = 0;       // prefix length of the winning split
   double cut = 0.0;            // net cut
   double ratio_cut = 0.0;      // cut / (|C1| |C2|)
+  /// Conductance phi = cut / min(vol, vol-complement) of the winning
+  /// partition (part/sweep_cut.h) — the optimized objective under the
+  /// normalized model, reported for comparison under the default too.
+  double conductance = 0.0;
   double eigen_seconds = 0.0;
   double ordering_seconds = 0.0;  // sum over starts
   /// Eigensolver outcome actually consumed by the run (see MeloOrderingRun).
@@ -92,6 +98,8 @@ struct MeloBipartitionResult {
 /// MELO bipartitioning. min_fraction = 0 selects the best ratio-cut split
 /// over all prefixes; min_fraction > 0 (e.g. 0.45) selects the minimum-cut
 /// split with both sides >= min_fraction * n — the Table 5 protocol.
+/// Under objective = normalized the splitter is the conductance sweep cut
+/// (part/sweep_cut.h) instead, with min_fraction as the same side floor.
 MeloBipartitionResult melo_bipartition(const graph::Hypergraph& h,
                                        const MeloOptions& opts,
                                        double min_fraction = 0.0);

@@ -1,5 +1,7 @@
 #include "core/pipeline_config.h"
 
+#include <utility>
+
 #include "util/error.h"
 
 namespace specpart::core {
@@ -11,6 +13,7 @@ spectral::EmbeddingOptions PipelineConfig::embedding_options() const {
   eopts.solver = solver;
   eopts.seed = seed;
   eopts.parallel = parallel;
+  eopts.objective = objective;
   return eopts;
 }
 
@@ -26,102 +29,161 @@ MeloOrderingOptions PipelineConfig::ordering_options(
   return oopts;
 }
 
-std::string_view coord_scaling_token(CoordScaling s) {
-  switch (s) {
-    case CoordScaling::kSqrtGap:
-      return "sqrt_gap";
-    case CoordScaling::kGap:
-      return "gap";
-    case CoordScaling::kInvSqrtLambda:
-      return "inv_sqrt_lambda";
-    case CoordScaling::kUnit:
-      return "unit";
-  }
+namespace {
+
+// One token table per enum knob: the single source every spelling-consumer
+// reads. token() prints from it, parse() scans it, and the *_tokens()
+// " | "-joined lists — quoted by both the parse error messages and the CLI
+// binaries' --help text — are generated from it, so none of them can drift.
+template <typename E>
+struct TokenEntry {
+  std::string_view token;
+  E value;
+};
+
+constexpr TokenEntry<CoordScaling> kCoordScalingTable[] = {
+    {"sqrt_gap", CoordScaling::kSqrtGap},
+    {"gap", CoordScaling::kGap},
+    {"inv_sqrt_lambda", CoordScaling::kInvSqrtLambda},
+    {"unit", CoordScaling::kUnit},
+};
+
+constexpr TokenEntry<model::NetModel> kNetModelTable[] = {
+    {"standard", model::NetModel::kStandard},
+    {"partitioning_specific", model::NetModel::kPartitioningSpecific},
+    {"frankle", model::NetModel::kFrankle},
+};
+
+constexpr TokenEntry<SelectionRule> kSelectionRuleTable[] = {
+    {"magnitude", SelectionRule::kMagnitude},
+    {"projection", SelectionRule::kProjection},
+    {"cosine", SelectionRule::kCosine},
+};
+
+constexpr TokenEntry<SolverBackend> kSolverBackendTable[] = {
+    {"scalar", SolverBackend::kScalar},
+    {"block", SolverBackend::kBlock},
+};
+
+constexpr TokenEntry<SolverStrategy> kSolverStrategyTable[] = {
+    {"flat", SolverStrategy::kFlat},
+    {"multilevel", SolverStrategy::kMultilevel},
+};
+
+constexpr TokenEntry<ObjectiveModel> kObjectiveModelTable[] = {
+    {"unnormalized", ObjectiveModel::kUnnormalized},
+    {"normalized", ObjectiveModel::kNormalizedSymmetric},
+};
+
+template <typename E, std::size_t N>
+std::string_view token_of(const TokenEntry<E> (&table)[N], E value) {
+  for (const TokenEntry<E>& entry : table)
+    if (entry.value == value) return entry.token;
   return "?";
+}
+
+template <typename E, std::size_t N>
+std::string join_tokens(const TokenEntry<E> (&table)[N]) {
+  std::string joined;
+  for (std::size_t i = 0; i < N; ++i) {
+    if (i > 0) joined += " | ";
+    joined += table[i].token;
+  }
+  return joined;
+}
+
+template <typename E, std::size_t N>
+E parse_token(const TokenEntry<E> (&table)[N], std::string_view token,
+              const char* what, const std::string& accepted) {
+  for (const TokenEntry<E>& entry : table)
+    if (entry.token == token) return entry.value;
+  throw Error("unknown " + std::string(what) + " '" + std::string(token) +
+              "' (expected " + accepted + ")");
+}
+
+}  // namespace
+
+std::string_view coord_scaling_token(CoordScaling s) {
+  return token_of(kCoordScalingTable, s);
 }
 
 std::string_view net_model_token(model::NetModel m) {
-  switch (m) {
-    case model::NetModel::kStandard:
-      return "standard";
-    case model::NetModel::kPartitioningSpecific:
-      return "partitioning_specific";
-    case model::NetModel::kFrankle:
-      return "frankle";
-  }
-  return "?";
+  return token_of(kNetModelTable, m);
 }
 
 std::string_view selection_rule_token(SelectionRule s) {
-  switch (s) {
-    case SelectionRule::kMagnitude:
-      return "magnitude";
-    case SelectionRule::kProjection:
-      return "projection";
-    case SelectionRule::kCosine:
-      return "cosine";
-  }
-  return "?";
+  return token_of(kSelectionRuleTable, s);
 }
 
 std::string_view solver_backend_token(SolverBackend b) {
-  switch (b) {
-    case SolverBackend::kScalar:
-      return "scalar";
-    case SolverBackend::kBlock:
-      return "block";
-  }
-  return "?";
+  return token_of(kSolverBackendTable, b);
 }
 
 std::string_view solver_strategy_token(SolverStrategy s) {
-  switch (s) {
-    case SolverStrategy::kFlat:
-      return "flat";
-    case SolverStrategy::kMultilevel:
-      return "multilevel";
-  }
-  return "?";
+  return token_of(kSolverStrategyTable, s);
+}
+
+std::string_view objective_model_token(ObjectiveModel m) {
+  return token_of(kObjectiveModelTable, m);
+}
+
+const std::string& coord_scaling_tokens() {
+  static const std::string joined = join_tokens(kCoordScalingTable);
+  return joined;
+}
+
+const std::string& net_model_tokens() {
+  static const std::string joined = join_tokens(kNetModelTable);
+  return joined;
+}
+
+const std::string& selection_rule_tokens() {
+  static const std::string joined = join_tokens(kSelectionRuleTable);
+  return joined;
+}
+
+const std::string& solver_backend_tokens() {
+  static const std::string joined = join_tokens(kSolverBackendTable);
+  return joined;
+}
+
+const std::string& solver_strategy_tokens() {
+  static const std::string joined = join_tokens(kSolverStrategyTable);
+  return joined;
+}
+
+const std::string& objective_model_tokens() {
+  static const std::string joined = join_tokens(kObjectiveModelTable);
+  return joined;
 }
 
 CoordScaling parse_coord_scaling(std::string_view token) {
-  if (token == "sqrt_gap") return CoordScaling::kSqrtGap;
-  if (token == "gap") return CoordScaling::kGap;
-  if (token == "inv_sqrt_lambda") return CoordScaling::kInvSqrtLambda;
-  if (token == "unit") return CoordScaling::kUnit;
-  throw Error("unknown scaling '" + std::string(token) +
-              "' (expected sqrt_gap | gap | inv_sqrt_lambda | unit)");
+  return parse_token(kCoordScalingTable, token, "scaling",
+                     coord_scaling_tokens());
 }
 
 model::NetModel parse_net_model(std::string_view token) {
-  if (token == "standard") return model::NetModel::kStandard;
-  if (token == "partitioning_specific")
-    return model::NetModel::kPartitioningSpecific;
-  if (token == "frankle") return model::NetModel::kFrankle;
-  throw Error("unknown net model '" + std::string(token) +
-              "' (expected standard | partitioning_specific | frankle)");
+  return parse_token(kNetModelTable, token, "net model", net_model_tokens());
 }
 
 SelectionRule parse_selection_rule(std::string_view token) {
-  if (token == "magnitude") return SelectionRule::kMagnitude;
-  if (token == "projection") return SelectionRule::kProjection;
-  if (token == "cosine") return SelectionRule::kCosine;
-  throw Error("unknown selection rule '" + std::string(token) +
-              "' (expected magnitude | projection | cosine)");
+  return parse_token(kSelectionRuleTable, token, "selection rule",
+                     selection_rule_tokens());
 }
 
 SolverBackend parse_solver_backend(std::string_view token) {
-  if (token == "scalar") return SolverBackend::kScalar;
-  if (token == "block") return SolverBackend::kBlock;
-  throw Error("unknown solver backend '" + std::string(token) +
-              "' (expected scalar | block)");
+  return parse_token(kSolverBackendTable, token, "solver backend",
+                     solver_backend_tokens());
 }
 
 SolverStrategy parse_solver_strategy(std::string_view token) {
-  if (token == "flat") return SolverStrategy::kFlat;
-  if (token == "multilevel") return SolverStrategy::kMultilevel;
-  throw Error("unknown solver strategy '" + std::string(token) +
-              "' (expected flat | multilevel)");
+  return parse_token(kSolverStrategyTable, token, "solver strategy",
+                     solver_strategy_tokens());
+}
+
+ObjectiveModel parse_objective_model(std::string_view token) {
+  return parse_token(kObjectiveModelTable, token, "objective model",
+                     objective_model_tokens());
 }
 
 }  // namespace specpart::core

@@ -33,6 +33,7 @@ namespace specpart::core {
 using SolverOptions = linalg::SolverOptions;
 using SolverBackend = linalg::SolverBackend;
 using SolverStrategy = linalg::SolverStrategy;
+using ObjectiveModel = linalg::ObjectiveModel;
 
 /// Value-semantic pipeline knobs shared by the CLI drivers, the experiment
 /// runners and the partitioning service. See MeloOptions (core/drivers.h)
@@ -42,6 +43,9 @@ struct PipelineConfig {
   /// include_trivial is true this count includes the trivial
   /// (lambda = 0, constant) eigenvector, as in the reduction theory; the
   /// paper's "MELO with two eigenvectors" = trivial + Fiedler.
+  /// 0 = automatic: solve a fixed 16-pair slice of the low spectrum and
+  /// keep the prefix ending at the largest relative eigenvalue gap
+  /// lambda_{i+1}/lambda_i (the higher-order Cheeger heuristic).
   std::size_t num_eigenvectors = 10;
   bool include_trivial = true;
   /// Weighting scheme #1-#4: how eigenvector coordinates are scaled.
@@ -64,6 +68,12 @@ struct PipelineConfig {
   /// threshold / fallback limit, iteration caps. The former top-level
   /// dense_threshold / dense_fallback_limit knobs live inside.
   SolverOptions solver;
+  /// Which symmetric operator the spectral pipeline optimizes
+  /// (linalg/objective.h): the paper's unnormalized min-cut Laplacian
+  /// (default — the byte-identity anchor for cache keys, wire frames and
+  /// stored bases) or the degree-normalized operator whose splits minimize
+  /// conductance through the sweep-cut splitter (part/sweep_cut.h).
+  ObjectiveModel objective = ObjectiveModel::kUnnormalized;
   std::uint64_t seed = 0x3E10ULL;
   /// Clique-pair admission budget for the net model: when > 0 and the
   /// exact expansion size sum p(p-1)/2 exceeds it, the pipeline fails fast
@@ -94,6 +104,7 @@ std::string_view net_model_token(model::NetModel m);
 std::string_view selection_rule_token(SelectionRule s);
 std::string_view solver_backend_token(SolverBackend b);
 std::string_view solver_strategy_token(SolverStrategy s);
+std::string_view objective_model_token(ObjectiveModel m);
 
 /// Parse a token back. Throws specpart::Error on an unknown token, naming
 /// the accepted spellings.
@@ -102,5 +113,17 @@ model::NetModel parse_net_model(std::string_view token);
 SelectionRule parse_selection_rule(std::string_view token);
 SolverBackend parse_solver_backend(std::string_view token);
 SolverStrategy parse_solver_strategy(std::string_view token);
+ObjectiveModel parse_objective_model(std::string_view token);
+
+/// Accepted spellings of each enum knob, " | "-joined ("scalar | block"),
+/// generated from the same token tables the parse_* functions read — the
+/// single source of truth the CLI binaries' --help text and the parse
+/// error messages both quote, so they cannot drift.
+const std::string& coord_scaling_tokens();
+const std::string& net_model_tokens();
+const std::string& selection_rule_tokens();
+const std::string& solver_backend_tokens();
+const std::string& solver_strategy_tokens();
+const std::string& objective_model_tokens();
 
 }  // namespace specpart::core

@@ -1,0 +1,42 @@
+#include "linalg/objective.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace specpart::linalg {
+
+Vec inv_sqrt_degree_scale(const SymCsrMatrix& laplacian) {
+  const std::size_t n = laplacian.size();
+  Vec s(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double diag = 0.0;
+    for (std::size_t k = laplacian.row_begin(i); k < laplacian.row_end(i); ++k)
+      if (laplacian.col_index(k) == i) {
+        diag = laplacian.value(k);
+        break;
+      }
+    // Isolated vertices (and degenerate non-positive diagonals) scale to
+    // zero: their row stays identically zero under the symmetric scaling.
+    if (diag > 0.0) s[i] = 1.0 / std::sqrt(diag);
+  }
+  return s;
+}
+
+void scale_symmetric(CsrStorage& storage, const Vec& s) {
+  SP_ASSERT(s.size() == storage.num_rows());
+  for (std::size_t i = 0; i < storage.num_rows(); ++i) {
+    const double si = s[i];
+    for (std::size_t k = storage.offsets[i]; k < storage.offsets[i + 1]; ++k)
+      storage.values[k] *= si * s[storage.cols[k]];
+  }
+}
+
+SymCsrMatrix normalized_laplacian(const SymCsrMatrix& laplacian) {
+  const Vec s = inv_sqrt_degree_scale(laplacian);
+  CsrStorage scaled = laplacian.csr();  // one O(nnz) copy, same pattern
+  scale_symmetric(scaled, s);
+  return SymCsrMatrix(std::move(scaled));
+}
+
+}  // namespace specpart::linalg

@@ -96,6 +96,18 @@ const linalg::SymCsrMatrix& CliqueModel::laplacian(Diagnostics* diag) const {
   return *laplacian_;
 }
 
+const linalg::SymCsrMatrix& CliqueModel::operator_matrix(
+    linalg::ObjectiveModel objective, Diagnostics* diag) const {
+  if (objective == linalg::ObjectiveModel::kUnnormalized)
+    return laplacian(diag);
+  if (!normalized_.has_value()) {
+    const linalg::SymCsrMatrix& q = laplacian(diag);
+    StageTimerScope timer(diag, kModelStage);
+    normalized_.emplace(linalg::normalized_laplacian(q));
+  }
+  return *normalized_;
+}
+
 const graph::Graph& CliqueModel::graph(Diagnostics* diag) const {
   if (!graph_.has_value()) {
     StageTimerScope timer(diag, kModelStage);

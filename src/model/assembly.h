@@ -29,6 +29,7 @@
 
 #include "graph/graph.h"
 #include "graph/hypergraph.h"
+#include "linalg/objective.h"
 #include "linalg/sparse.h"
 #include "model/clique_models.h"
 #include "util/budget.h"
@@ -87,6 +88,15 @@ class CliqueModel {
   /// The clique-model Laplacian; built fused on first call.
   const linalg::SymCsrMatrix& laplacian(Diagnostics* diag = nullptr) const;
 
+  /// The operator of the requested objective model: the Laplacian itself
+  /// for kUnnormalized (no copy), or the cached degree-normalized operator
+  /// N = D^{-1/2} L D^{-1/2} for kNormalizedSymmetric — an O(nnz) rescale
+  /// of the Laplacian's value array over the same CsrStorage pattern,
+  /// built on first request. Zero-degree rows scale to zero (see
+  /// linalg/objective.h), so isolated vertices are safe.
+  const linalg::SymCsrMatrix& operator_matrix(
+      linalg::ObjectiveModel objective, Diagnostics* diag = nullptr) const;
+
   /// The clique-model graph; derived from the Laplacian when that already
   /// exists, otherwise expanded fused on first call.
   const graph::Graph& graph(Diagnostics* diag = nullptr) const;
@@ -100,6 +110,7 @@ class CliqueModel {
   ModelBuildOptions opts_;
   mutable std::optional<graph::Graph> graph_;
   mutable std::optional<linalg::SymCsrMatrix> laplacian_;
+  mutable std::optional<linalg::SymCsrMatrix> normalized_;
 };
 
 }  // namespace specpart::model

@@ -14,7 +14,8 @@ constexpr std::uint32_t kUnmatched = std::numeric_limits<std::uint32_t>::max();
 }  // namespace
 
 CoarseLevel coarsen_once(const linalg::SymCsrMatrix& fine,
-                         const ParallelConfig& parallel) {
+                         const ParallelConfig& parallel,
+                         bool galerkin_general) {
   const std::size_t n = fine.size();
   std::vector<std::uint32_t> cid(n, kUnmatched);
   std::uint32_t next = 0;
@@ -76,24 +77,37 @@ CoarseLevel coarsen_once(const linalg::SymCsrMatrix& fine,
     }
   }
 
-  // Coarse Laplacian through the shared assembler: stream every crossing
-  // fine edge once (i < j picks one of the CSR's two mirrored entries) as
-  // a positive adjacency weight; finish_laplacian merges parallel edges
-  // under the stable-merge contract, negates them back and splices in the
-  // weighted-degree diagonal. Intra-cluster edges are dropped, which is
-  // exactly the Galerkin contraction P^T L P.
+  // Coarse operator through the shared assembler. Default path: stream
+  // every crossing fine edge once (i < j picks one of the CSR's two
+  // mirrored entries) as a positive adjacency weight; finish_laplacian
+  // merges parallel edges under the stable-merge contract, negates them
+  // back and splices in the weighted-degree diagonal. Intra-cluster edges
+  // are dropped, which for a graph Laplacian is exactly the Galerkin
+  // contraction P^T L P. General path: see the galerkin_general branch.
   linalg::CsrAssembler& assembler = linalg::thread_assembly_workspace();
   assembler.begin(next);
   assembler.reserve(fine.nnz());
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t k = fine.row_begin(i); k < fine.row_end(i); ++k) {
-      const std::size_t j = fine.col_index(k);
-      if (j <= i) continue;
-      if (cid[i] == cid[j]) continue;
-      assembler.add_edge(cid[i], cid[j], -fine.value(k));
-    }
   linalg::CsrStorage storage;
-  assembler.finish_laplacian(storage, nullptr, parallel);
+  if (galerkin_general) {
+    // Exact Galerkin contraction for a general symmetric matrix: stream
+    // every stored entry — diagonals and intra-cluster entries included —
+    // as the directed coarse entry (cid[i], cid[j], v) and let the generic
+    // stable-merge finish sum them. The result is P^T M P verbatim; since
+    // every fine row stores a diagonal, every coarse row keeps one too.
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = fine.row_begin(i); k < fine.row_end(i); ++k)
+        assembler.add_entry(cid[i], cid[fine.col_index(k)], fine.value(k));
+    assembler.finish(storage, parallel);
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = fine.row_begin(i); k < fine.row_end(i); ++k) {
+        const std::size_t j = fine.col_index(k);
+        if (j <= i) continue;
+        if (cid[i] == cid[j]) continue;
+        assembler.add_edge(cid[i], cid[j], -fine.value(k));
+      }
+    assembler.finish_laplacian(storage, nullptr, parallel);
+  }
 
   CoarseLevel level;
   level.coarse_of = std::move(cid);
@@ -110,7 +124,8 @@ std::vector<CoarseLevel> build_hierarchy(const linalg::SymCsrMatrix& finest,
         levels.empty() ? finest : levels.back().lap;
     if (cur.size() <= opts.coarsest_size || levels.size() >= opts.max_levels)
       break;
-    CoarseLevel level = coarsen_once(cur, opts.parallel);
+    CoarseLevel level =
+        coarsen_once(cur, opts.parallel, opts.galerkin_general);
     if (static_cast<double>(level.coarse_n()) >
         opts.min_shrink_factor * static_cast<double>(cur.size()))
       break;  // matching stalled; deeper levels would not pay for themselves

@@ -53,14 +53,25 @@ struct CoarsenOptions {
   /// Threading for the coarse-matrix assembly merge (the matching itself
   /// is serial by construction — its greedy order is part of the output).
   ParallelConfig parallel;
+  /// General Galerkin contraction: stream *every* fine entry (diagonals
+  /// and intra-cluster entries included) through the generic stable-merge
+  /// finish, yielding P^T M P exactly for any symmetric M — required for
+  /// the normalized operator D^{-1/2} L D^{-1/2}, whose coarse operator is
+  /// NOT the contracted graph's Laplacian. The default (false) keeps the
+  /// contracted-graph finish_laplacian path, which is byte-identical to
+  /// the pre-objective code for plain Laplacians.
+  bool galerkin_general = false;
 };
 
-/// One heavy-edge + two-hop matching step over `fine` (a graph Laplacian:
-/// off-diagonal entries are negated edge weights). Deterministic: the
-/// matching scans vertices in ascending order and ties break toward the
-/// first-seen heaviest neighbor.
+/// One heavy-edge + two-hop matching step over `fine` (a Laplacian-like
+/// symmetric matrix: off-diagonal entries are negated connection weights,
+/// which holds for both L and the normalized D^{-1/2} L D^{-1/2}).
+/// Deterministic: the matching scans vertices in ascending order and ties
+/// break toward the first-seen heaviest neighbor. `galerkin_general`
+/// selects the exact P^T M P contraction (see CoarsenOptions).
 CoarseLevel coarsen_once(const linalg::SymCsrMatrix& fine,
-                         const ParallelConfig& parallel = {});
+                         const ParallelConfig& parallel = {},
+                         bool galerkin_general = false);
 
 /// Full hierarchy: repeated coarsen_once until coarsest_size, max_levels
 /// or a matching stall. levels[0] contracts `finest`; levels[k] contracts

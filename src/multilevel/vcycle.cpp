@@ -144,7 +144,7 @@ void chebyshev_filter(const SymCsrMatrix& l, Panel& x, double lo, double hi,
 linalg::LanczosResult multilevel_solve_smallest(
     const SymCsrMatrix& a, std::size_t want, std::uint64_t seed,
     const linalg::SolverOptions& opts, const ParallelConfig& parallel,
-    ComputeBudget* budget, MultilevelStats* stats) {
+    ComputeBudget* budget, MultilevelStats* stats, bool galerkin_general) {
   linalg::LanczosResult result;
   const std::size_t n = a.size();
   want = std::min(want, n);
@@ -174,6 +174,7 @@ linalg::LanczosResult multilevel_solve_smallest(
   copts.coarsest_size =
       std::max<std::size_t>(opts.ml_coarsest_size, 2 * width);
   copts.parallel = par;
+  copts.galerkin_general = galerkin_general;
   const std::vector<CoarseLevel> levels = build_hierarchy(a, copts);
   const SymCsrMatrix& coarsest = levels.empty() ? a : levels.back().lap;
   st.levels = levels.size();

@@ -73,10 +73,14 @@ struct MultilevelStats {
 /// file comment). The FLOP / bytes-moved counters accumulate across every
 /// level, comparable with the flat solvers'. One refinement sweep charges
 /// one budget unit; on exhaustion the best basis so far is returned with
-/// budget_exhausted set.
+/// budget_exhausted set. `galerkin_general` selects the exact P^T M P
+/// contraction for non-Laplacian symmetric operators (the normalized
+/// objective); the default keeps the contracted-graph path byte-identical
+/// for plain Laplacians (see CoarsenOptions::galerkin_general).
 linalg::LanczosResult multilevel_solve_smallest(
     const linalg::SymCsrMatrix& a, std::size_t want, std::uint64_t seed,
     const linalg::SolverOptions& opts, const ParallelConfig& parallel,
-    ComputeBudget* budget = nullptr, MultilevelStats* stats = nullptr);
+    ComputeBudget* budget = nullptr, MultilevelStats* stats = nullptr,
+    bool galerkin_general = false);
 
 }  // namespace specpart::multilevel

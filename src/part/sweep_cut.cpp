@@ -1,0 +1,72 @@
+#include "part/sweep_cut.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace specpart::part {
+
+std::vector<double> vertex_volumes(const graph::Hypergraph& h) {
+  std::vector<double> vol(h.num_nodes(), 0.0);
+  for (graph::NetId e = 0; e < h.num_nets(); ++e) {
+    if (h.net(e).size() < 2) continue;
+    const double w = h.net_weight(e);
+    for (graph::NodeId v : h.net(e)) vol[v] += w;
+  }
+  return vol;
+}
+
+SplitResult best_conductance_split(const graph::Hypergraph& h,
+                                   const Ordering& o, double min_fraction) {
+  const std::size_t n = h.num_nodes();
+  SP_REQUIRE(is_permutation(o, n),
+             "best_conductance_split: ordering is not a permutation");
+  const std::vector<double> cuts = prefix_cuts(h, o);
+  const std::vector<double> vol = vertex_volumes(h);
+  double vol_total = 0.0;
+  for (double v : vol) vol_total += v;
+  const std::size_t min_side = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(min_fraction * static_cast<double>(n) - 1e-9)));
+  SplitResult best;
+  double vol_left = 0.0;
+  for (std::size_t i = 1; i + min_side <= n && i < n; ++i) {
+    vol_left += vol[o[i - 1]];
+    if (i < min_side) continue;
+    const double vol_small = std::min(vol_left, vol_total - vol_left);
+    if (!(vol_small > 0.0)) continue;  // phi undefined on a zero-volume side
+    const double phi = cuts[i] / vol_small;
+    if (!best.feasible || phi < best.objective) {
+      best.feasible = true;
+      best.split = i;
+      best.cut = cuts[i];
+      best.objective = phi;
+    }
+  }
+  return best;
+}
+
+double conductance(const graph::Hypergraph& h, const Partition& p) {
+  SP_REQUIRE(p.num_nodes() == h.num_nodes() && p.k() == 2,
+             "conductance: expects a bipartition of h");
+  const std::vector<double> vol = vertex_volumes(h);
+  double vol_side[2] = {0.0, 0.0};
+  for (graph::NodeId v = 0; v < h.num_nodes(); ++v)
+    vol_side[p.cluster_of(v)] += vol[v];
+  double cut = 0.0;
+  for (graph::NetId e = 0; e < h.num_nets(); ++e) {
+    if (h.net(e).size() < 2) continue;
+    const std::uint32_t first = p.cluster_of(h.net(e)[0]);
+    for (graph::NodeId v : h.net(e))
+      if (p.cluster_of(v) != first) {
+        cut += h.net_weight(e);
+        break;
+      }
+  }
+  const double vol_small = std::min(vol_side[0], vol_side[1]);
+  if (vol_small > 0.0) return cut / vol_small;
+  return cut == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace specpart::part

@@ -1,0 +1,44 @@
+// Conductance sweep cut: the splitter of the normalized objective family.
+//
+// Under the normalized-symmetric operator (linalg/objective.h) the natural
+// split quality is conductance
+//
+//     phi(S) = cut(S) / min(vol(S), vol(V \ S)),
+//
+// where vol(S) sums the hypergraph degrees (weights of incident eligible
+// nets) of the vertices in S. Cheeger's inequality ties the best sweep cut
+// of the normalized Fiedler vector to sqrt(2 lambda_2), so the splitter
+// here evaluates phi at every prefix of the spectral ordering — the same
+// single O(n + pins) incremental pass best_min_cut_split uses, with the
+// volume accumulated alongside the net cut — and returns the minimizer.
+// It rides alongside the FM/min-cut path, not instead of it: drivers pick
+// it when PipelineConfig.objective is normalized.
+#pragma once
+
+#include "graph/hypergraph.h"
+#include "part/ordering.h"
+#include "part/partition.h"
+
+namespace specpart::part {
+
+/// Hypergraph vertex volumes: vol(v) = sum of weights of incident nets
+/// with >= 2 pins (the same eligibility rule as the cut sweep, so a 0/1-pin
+/// net contributes to neither numerator nor denominator). Isolated vertices
+/// get volume 0.
+std::vector<double> vertex_volumes(const graph::Hypergraph& h);
+
+/// Minimizes conductance phi = cut / min(vol(S), vol(V \ S)) over all
+/// prefix splits of `o` with both sides holding at least
+/// `min_fraction * n` vertices (0 = the unconstrained Cheeger sweep).
+/// Prefixes whose smaller side has zero volume are skipped (phi undefined);
+/// SplitResult.objective holds the winning phi.
+SplitResult best_conductance_split(const graph::Hypergraph& h,
+                                   const Ordering& o,
+                                   double min_fraction = 0.0);
+
+/// Conductance of an existing bipartition (bench / report comparison of
+/// the sweep cut against the FM split). Returns +infinity when either side
+/// has zero volume and the cut is nonzero, 0 for a zero cut.
+double conductance(const graph::Hypergraph& h, const Partition& p);
+
+}  // namespace specpart::part

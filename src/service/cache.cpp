@@ -42,6 +42,12 @@ std::string solver_token_of(const spectral::EmbeddingOptions& opts) {
 std::string strategy_token_of(const spectral::EmbeddingOptions& opts) {
   return std::string(core::solver_strategy_token(opts.solver.strategy));
 }
+/// Objective token, or "" for the default: the empty string keeps default
+/// spills writing headers byte-identical to the pre-objective layout.
+std::string objective_token_of(const spectral::EmbeddingOptions& opts) {
+  if (opts.objective == linalg::ObjectiveModel::kUnnormalized) return {};
+  return std::string(core::objective_model_token(opts.objective));
+}
 
 }  // namespace
 
@@ -102,6 +108,11 @@ Fingerprint EmbeddingCache::eigen_key(const graph::Graph& g,
   h.mix_size(opts.solver.ml_refine_degree);
   h.mix_size(opts.solver.ml_refine_sweeps);
   h.mix_double(opts.solver.ml_refine_tolerance);
+  // Objective model: normalized and unnormalized bases are spectra of
+  // different operators, so they must live in disjoint key domains. Mixed
+  // only when non-default so every pre-objective key is bit-preserved.
+  if (opts.objective != linalg::ObjectiveModel::kUnnormalized)
+    h.mix_string(core::objective_model_token(opts.objective));
   h.mix_u64(opts.seed);
   h.mix_size(solve_count);
   return h.digest();
@@ -144,6 +155,11 @@ Fingerprint EmbeddingCache::netlist_key(const graph::Hypergraph& h,
   hs.mix_size(opts.solver.ml_refine_degree);
   hs.mix_size(opts.solver.ml_refine_sweeps);
   hs.mix_double(opts.solver.ml_refine_tolerance);
+  // Objective model, mirroring eigen_key: an unnormalized-warmed cache
+  // must miss under objective=normalized. Gated so default keys are
+  // bit-identical to the pre-objective domain.
+  if (opts.objective != linalg::ObjectiveModel::kUnnormalized)
+    hs.mix_string(core::objective_model_token(opts.objective));
   hs.mix_u64(opts.seed);
   hs.mix_size(solve_count);
   return hs.digest();
@@ -153,8 +169,8 @@ spectral::EigenBasis EmbeddingCache::compute(
     const model::CliqueModel& cm, const spectral::EmbeddingOptions& opts,
     Diagnostics* diag, ComputeBudget* budget) {
   if (opts_.max_bytes == 0)  // caching disabled: raw pipeline behavior
-    return spectral::compute_eigenbasis(cm.laplacian(diag), opts, diag,
-                                        budget);
+    return spectral::compute_eigenbasis(cm.operator_matrix(opts.objective, diag),
+                                        opts, diag, budget);
 
   const std::size_t solve_count = quantized_count(opts.count);
   const Fingerprint key =
@@ -167,9 +183,8 @@ spectral::EigenBasis EmbeddingCache::compute(
 
   spectral::EmbeddingOptions solve_opts = opts;
   solve_opts.count = solve_count;
-  spectral::EigenBasis full =
-      spectral::compute_eigenbasis(cm.laplacian(diag), solve_opts, diag,
-                                   budget);
+  spectral::EigenBasis full = spectral::compute_eigenbasis(
+      cm.operator_matrix(opts.objective, diag), solve_opts, diag, budget);
   return insert(key, std::move(full), opts.count, opts, diag);
 }
 
@@ -250,7 +265,8 @@ spectral::EigenBasis EmbeddingCache::insert(
   // bigger than RAM is the point of the tier. Failures are counted in
   // the store's stats and degrade to nothing: tier 1 proceeds normally.
   if (disk_ != nullptr && clean)
-    disk_->store(key, full, solver_token_of(opts), strategy_token_of(opts));
+    disk_->store(key, full, solver_token_of(opts), strategy_token_of(opts),
+                 objective_token_of(opts));
 
   std::vector<std::pair<Fingerprint, Entry>> spilled;
   {
@@ -272,6 +288,7 @@ spectral::EigenBasis EmbeddingCache::insert(
       entry.bytes = bytes;
       entry.solver_token = solver_token_of(opts);
       entry.strategy_token = strategy_token_of(opts);
+      entry.objective_token = objective_token_of(opts);
       entry.lru_pos = lru_.begin();
       entries_.emplace(key, std::move(entry));
       stats_.bytes += bytes;
@@ -299,6 +316,7 @@ void EmbeddingCache::promote(const Fingerprint& key,
     entry.bytes = bytes;
     entry.solver_token = solver_token_of(opts);
     entry.strategy_token = strategy_token_of(opts);
+    entry.objective_token = objective_token_of(opts);
     entry.lru_pos = lru_.begin();
     entries_.emplace(key, std::move(entry));
     stats_.bytes += bytes;
@@ -330,7 +348,8 @@ void EmbeddingCache::spill(
   // persisted the entry and store() is idempotent), but it re-persists
   // entries whose earlier spill failed or was evicted from the disk tier.
   for (const auto& [key, entry] : spilled)
-    disk_->store(key, entry.basis, entry.solver_token, entry.strategy_token);
+    disk_->store(key, entry.basis, entry.solver_token, entry.strategy_token,
+                 entry.objective_token);
 }
 
 core::EmbeddingProvider EmbeddingCache::provider() {

@@ -77,6 +77,8 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.responses_degraded = responses_degraded_.load(relaxed);
   s.responses_error = responses_error_.load(relaxed);
   s.rejected = rejected_.load(relaxed);
+  s.objective_normalized_requests =
+      objective_normalized_requests_.load(relaxed);
   s.queue_depth = queue_depth_.load(relaxed);
   s.queue_peak = queue_peak_.load(relaxed);
   s.latency = latency_.snapshot();
@@ -102,6 +104,11 @@ std::vector<std::pair<std::string, double>> MetricsSnapshot::key_values()
       {"cache_entries", static_cast<double>(cache_entries)},
       {"cache_hit_rate", cache_hit_rate},
   };
+  // Emitted only when normalized-objective traffic was seen: a default-
+  // objective deployment's METRICS frame bytes are unchanged.
+  if (objective_normalized_requests > 0)
+    kv.emplace_back("objective_normalized_requests",
+                    static_cast<double>(objective_normalized_requests));
   if (storage.present) {
     kv.emplace_back("storage_disk_hits",
                     static_cast<double>(storage.disk_hits));
@@ -174,6 +181,10 @@ std::string MetricsSnapshot::render_text() const {
                    static_cast<unsigned long long>(cache_lookups),
                    static_cast<unsigned long long>(cache_evictions),
                    cache_entries, cache_bytes);
+  if (objective_normalized_requests > 0)
+    out << strprintf(
+        "  objective     normalized_requests=%llu\n",
+        static_cast<unsigned long long>(objective_normalized_requests));
   if (storage.present)
     out << strprintf(
         "  storage       disk_hits=%llu disk_misses=%llu spills=%llu "

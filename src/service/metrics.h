@@ -123,6 +123,12 @@ struct MetricsSnapshot {
   std::size_t queue_peak = 0;
   std::size_t workers = 0;
 
+  /// Requests carrying a non-default objective model (normalized
+  /// Laplacian / conductance objective). Emitted in key_values() and the
+  /// text rendering only when nonzero, so default-objective traffic's
+  /// METRICS frames are byte-identical to the pre-objective format.
+  std::uint64_t objective_normalized_requests = 0;
+
   // Cache section (filled by the service from EmbeddingCacheStats).
   std::uint64_t cache_lookups = 0;
   std::uint64_t cache_hits = 0;
@@ -153,6 +159,10 @@ class ServiceMetrics {
  public:
   void on_submitted() { requests_total_.fetch_add(1, relaxed); }
   void on_rejected() { rejected_.fetch_add(1, relaxed); }
+  /// A request arrived carrying a non-default (normalized) objective.
+  void on_normalized_objective() {
+    objective_normalized_requests_.fetch_add(1, relaxed);
+  }
 
   void on_enqueued(std::size_t depth) {
     queue_depth_.store(depth, relaxed);
@@ -176,6 +186,7 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> responses_degraded_{0};
   std::atomic<std::uint64_t> responses_error_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> objective_normalized_requests_{0};
   std::atomic<std::size_t> queue_depth_{0};
   std::atomic<std::size_t> queue_peak_{0};
   LatencyHistogram latency_;

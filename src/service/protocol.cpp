@@ -115,6 +115,10 @@ void write_request(const PartitionRequest& req, std::ostream& out) {
   // means flat, so pre-multilevel recorded traffic replays byte-identical.
   if (p.solver.strategy != core::SolverStrategy::kFlat)
     out << " strategy=" << core::solver_strategy_token(p.solver.strategy);
+  // And for the objective model: absent means unnormalized, so recorded
+  // min-cut traffic stays byte-identical to the pre-objective protocol.
+  if (p.objective != core::ObjectiveModel::kUnnormalized)
+    out << " objective=" << core::objective_model_token(p.objective);
   out << " graph_lines=" << lines << '\n';
   out << payload;
   out << "END\n";
@@ -171,6 +175,14 @@ PartitionRequest parse_request(const std::string& header_line,
       // bad_request contract as the solver field.
       try {
         p.solver.strategy = core::parse_solver_strategy(value);
+      } catch (const Error& e) {
+        throw Error(std::string("bad_request: ") + e.what());
+      }
+    } else if (key == "objective") {
+      // Absent field = unnormalized (backward compatible); same structured
+      // bad_request contract as the solver and strategy fields.
+      try {
+        p.objective = core::parse_objective_model(value);
       } catch (const Error& e) {
         throw Error(std::string("bad_request: ") + e.what());
       }

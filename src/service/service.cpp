@@ -107,6 +107,8 @@ PartitionResponse PartitionService::execute_internal(
   PartitionResponse resp;
   resp.id = req.id;
   resp.k = req.k;
+  if (req.pipeline.objective != core::ObjectiveModel::kUnnormalized)
+    metrics_.on_normalized_objective();
   try {
     SP_CHECK_INPUT(req.graph.num_nodes() >= 2,
                    "request graph needs at least 2 vertices");

@@ -77,8 +77,11 @@ EigenBasis eigenbasis_of_laplacian(const linalg::SymCsrMatrix& q,
       // chain below runs from scratch — the strategy is an accelerator,
       // never a correctness risk.
       multilevel::MultilevelStats mstats;
+      const bool galerkin_general =
+          opts.objective != linalg::ObjectiveModel::kUnnormalized;
       result = multilevel::multilevel_solve_smallest(
-          q, want, seed, sopts, opts.parallel, budget, &mstats);
+          q, want, seed, sopts, opts.parallel, budget, &mstats,
+          galerkin_general);
       basis.solve_flops += result.flops;
       basis.solve_bytes_moved += result.matrix_bytes_moved;
       if (diag != nullptr) {
@@ -224,8 +227,11 @@ EigenBasis compute_eigenbasis(const graph::Graph& g,
                               const EmbeddingOptions& opts,
                               Diagnostics* diag, ComputeBudget* budget) {
   StageTimerScope stage_timer(diag, kStage);
-  // O(nnz) off the shared CSR adjacency — no triplet round-trip.
-  const linalg::SymCsrMatrix q = graph::build_laplacian(g);
+  // O(nnz) off the shared CSR adjacency — no triplet round-trip. The
+  // normalized objective adds one more O(nnz) value rescale on top.
+  linalg::SymCsrMatrix q = graph::build_laplacian(g);
+  if (opts.objective == linalg::ObjectiveModel::kNormalizedSymmetric)
+    q = linalg::normalized_laplacian(q);
   return eigenbasis_of_laplacian(q, opts, diag, budget);
 }
 

@@ -15,6 +15,7 @@
 #include "graph/graph.h"
 #include "linalg/dense.h"
 #include "linalg/eigensolver.h"
+#include "linalg/objective.h"
 #include "linalg/sparse.h"
 #include "util/budget.h"
 #include "util/parallel.h"
@@ -38,6 +39,13 @@ struct EmbeddingOptions {
   /// Compute-kernel threading, forwarded to the iterative solvers (the
   /// dense oracle stays serial). See LanczosOptions::parallel.
   ParallelConfig parallel;
+  /// Which symmetric operator the eigensolve runs on (linalg/objective.h).
+  /// The Graph overload derives the operator itself; the matrix overload
+  /// expects the caller to pass the matching operator (the objective here
+  /// then only selects the multilevel strategy's general Galerkin
+  /// contraction). The default keeps every solve byte-identical to the
+  /// pre-objective pipeline.
+  linalg::ObjectiveModel objective = linalg::ObjectiveModel::kUnnormalized;
 };
 
 /// Eigenpairs of the Laplacian plus the invariants MELO's H-selection needs.
@@ -84,10 +92,13 @@ EigenBasis compute_eigenbasis(const graph::Graph& g,
                               Diagnostics* diag = nullptr,
                               ComputeBudget* budget = nullptr);
 
-/// Same solve on an already-built Laplacian — the entry point for the fused
-/// hypergraph -> Laplacian data plane (model::build_clique_laplacian), which
-/// never materializes a Graph. Produces bit-identical results to the Graph
-/// overload on the Laplacian build_laplacian(g) would yield.
+/// Same solve on an already-built operator matrix — the entry point for the
+/// fused hypergraph -> Laplacian data plane (model::build_clique_laplacian /
+/// CliqueModel::operator_matrix), which never materializes a Graph. The
+/// matrix must match opts.objective (the plain Laplacian for kUnnormalized,
+/// the degree-normalized operator for kNormalizedSymmetric). Produces
+/// bit-identical results to the Graph overload on the operator it would
+/// derive.
 EigenBasis compute_eigenbasis(const linalg::SymCsrMatrix& laplacian,
                               const EmbeddingOptions& opts,
                               Diagnostics* diag = nullptr,

@@ -103,11 +103,25 @@ void write_exact(std::FILE* f, const void* src, std::size_t bytes,
                           path.c_str(), put, bytes));
 }
 
+/// Extension zone inside the fixed header: an objective token and its own
+/// checksum, occupying bytes that were reserved zeros in the v1 layout.
+/// The main header checksum does not cover the zone (it predates it), so
+/// the zone carries its own — all-zero means "no extension" (legacy or
+/// default objective), anything else must validate.
+constexpr std::size_t kObjectiveTokenOffset = 128;
+constexpr std::size_t kObjectiveChecksumOffset =
+    kObjectiveTokenOffset + kTokenBytes;  // 152; zone ends at 160
+
+bool objective_is_default(std::string_view token) {
+  return token.empty() || token == "unnormalized";
+}
+
 /// Serialized header bytes (exactly kHeaderBytes, checksum filled in).
 std::vector<unsigned char> encode_header(const Fingerprint& key,
                                          const spectral::EigenBasis& basis,
                                          std::string_view solver_token,
                                          std::string_view strategy_token,
+                                         std::string_view objective_token,
                                          std::size_t chunk_cols,
                                          std::uint64_t values_checksum) {
   std::vector<unsigned char> h;
@@ -126,6 +140,17 @@ std::vector<unsigned char> encode_header(const Fingerprint& key,
   append_u64(h, values_checksum);
   append_u64(h, checksum64(h.data(), h.size()));  // header checksum
   h.resize(kHeaderBytes, 0);
+  if (!objective_is_default(objective_token)) {
+    SP_REQUIRE(objective_token.size() < kTokenBytes,
+               "storage: token '" + std::string(objective_token) +
+                   "' exceeds the " + std::to_string(kTokenBytes) +
+                   "-byte header field");
+    std::memcpy(h.data() + kObjectiveTokenOffset, objective_token.data(),
+                objective_token.size());
+    const std::uint64_t sum =
+        checksum64(h.data() + kObjectiveTokenOffset, kTokenBytes);
+    std::memcpy(h.data() + kObjectiveChecksumOffset, &sum, 8);
+  }
   return h;
 }
 
@@ -158,6 +183,7 @@ void write_basis_file(const std::string& path, const Fingerprint& key,
                       const spectral::EigenBasis& basis,
                       std::string_view solver_token,
                       std::string_view strategy_token,
+                      std::string_view objective_token,
                       std::size_t chunk_cols) {
   SP_REQUIRE(chunk_cols > 0, "storage: chunk_cols must be positive");
   const std::size_t n = basis.n;
@@ -169,7 +195,8 @@ void write_basis_file(const std::string& path, const Fingerprint& key,
   for (std::size_t j = 0; j < d; ++j) append_f64(values, basis.values[j]);
 
   const std::vector<unsigned char> header =
-      encode_header(key, basis, solver_token, strategy_token, chunk_cols,
+      encode_header(key, basis, solver_token, strategy_token,
+                    objective_token, chunk_cols,
                     checksum64(values.data(), values.size()));
 
   File f(std::fopen(path.c_str(), "wb"));
@@ -219,6 +246,23 @@ std::optional<BasisHeader> read_basis_header(const std::string& path) {
   // Header checksum covers everything before itself.
   const std::size_t checked = 64 + 2 * kTokenBytes + 8;
   if (load_u64(h + checked) != checksum64(h, checked)) return std::nullopt;
+
+  // Extension zone: all-zero (every legacy and default-objective file)
+  // decodes as the default; otherwise the zone's own checksum must match
+  // and the token must be non-empty.
+  bool zone_used = false;
+  for (std::size_t i = 0; i < kTokenBytes + 8; ++i)
+    if (h[kObjectiveTokenOffset + i] != 0) {
+      zone_used = true;
+      break;
+    }
+  if (zone_used) {
+    if (load_u64(h + kObjectiveChecksumOffset) !=
+        checksum64(h + kObjectiveTokenOffset, kTokenBytes))
+      return std::nullopt;
+    out.objective_token = load_token(h + kObjectiveTokenOffset);
+    if (out.objective_token.empty()) return std::nullopt;
+  }
 
   if (out.n == 0 || out.d == 0 || out.chunk_cols == 0) return std::nullopt;
   // Guard the size product before trusting it (a corrupt header must not

@@ -9,7 +9,10 @@
 //   [header, 192 bytes fixed]
 //     magic, version, n, d, chunk_cols, v2 netlist fingerprint,
 //     laplacian trace, solver/strategy tokens, values checksum,
-//     header checksum
+//     header checksum, then the extension zone [128, 192): an objective
+//     token + its own checksum, written only for non-default objectives
+//     (all-zero = unnormalized, so every pre-objective file and every
+//     default-objective file is byte-identical to the v1 layout)
 //   [values block]  d x fp64 eigenvalues (ascending)
 //   [chunk 0]       columns [0, chunk_cols) column-major, n fp64 each,
 //                   followed by a u64 checksum of the chunk bytes
@@ -64,6 +67,10 @@ struct BasisHeader {
   double laplacian_trace = 0.0;
   std::string solver_token;
   std::string strategy_token;
+  /// Objective-model token of the operator the basis was solved on.
+  /// Stored in the extension zone only when non-default; an all-zero zone
+  /// (every legacy file) decodes as "unnormalized".
+  std::string objective_token = "unnormalized";
   /// FNV-1a 64 of the values block (verified by read_basis_columns).
   std::uint64_t values_checksum = 0;
 };
@@ -84,10 +91,14 @@ std::size_t basis_file_size(std::size_t n, std::size_t d,
 /// specpart::Error on any I/O failure (including the injected
 /// storage.enospc fault). The caller is responsible for making the write
 /// crash-safe (temp file + atomic rename; see store_index.h).
+/// `objective_token` is written into the header's extension zone only
+/// when it names a non-default objective; empty or "unnormalized" leaves
+/// the zone zeroed, keeping default files byte-identical to the v1 layout.
 void write_basis_file(const std::string& path, const Fingerprint& key,
                       const spectral::EigenBasis& basis,
                       std::string_view solver_token,
                       std::string_view strategy_token,
+                      std::string_view objective_token = {},
                       std::size_t chunk_cols = kDefaultChunkCols);
 
 /// Reads and validates the fixed header alone (magic, version, field

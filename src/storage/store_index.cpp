@@ -137,7 +137,8 @@ std::optional<spectral::EigenBasis> StoreIndex::load(const Fingerprint& key,
 bool StoreIndex::store(const Fingerprint& key,
                        const spectral::EigenBasis& basis,
                        std::string_view solver_token,
-                       std::string_view strategy_token) {
+                       std::string_view strategy_token,
+                       std::string_view objective_token) {
   const std::string path = entry_path(key);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -154,7 +155,7 @@ bool StoreIndex::store(const Fingerprint& key,
   const std::string tmp = path + std::string(kTempSuffix);
   try {
     write_basis_file(tmp, key, basis, solver_token, strategy_token,
-                     opts_.chunk_cols);
+                     objective_token, opts_.chunk_cols);
   } catch (const Error&) {
     std::error_code ec;
     fs::remove(tmp, ec);  // a failed write must not leave debris

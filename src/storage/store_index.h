@@ -82,8 +82,11 @@ class StoreIndex {
   /// evicts to budget. Idempotent: an existing entry is refreshed (LRU
   /// bump), not rewritten. Returns false on failure (counted in
   /// spill_failures), which is never fatal to the caller.
+  /// `objective_token` is recorded in the file header's extension zone
+  /// only when non-default (see write_basis_file).
   bool store(const Fingerprint& key, const spectral::EigenBasis& basis,
-             std::string_view solver_token, std::string_view strategy_token);
+             std::string_view solver_token, std::string_view strategy_token,
+             std::string_view objective_token = {});
 
   /// Whether `key` is currently indexed (no I/O, no LRU effect).
   bool contains(const Fingerprint& key) const;

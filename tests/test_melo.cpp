@@ -200,10 +200,13 @@ TEST(MeloDrivers, ReadjustChangesH) {
 TEST(MeloDrivers, RejectsDegenerateInputs) {
   graph::Hypergraph tiny(1, {});
   EXPECT_THROW(melo_bipartition(tiny, MeloOptions{}), Error);
+  // num_eigenvectors == 0 is no longer degenerate: it selects d
+  // automatically from the spectral gap (at least 2 columns).
   const graph::Hypergraph h = planted(20, 2, 29);
   MeloOptions opts;
   opts.num_eigenvectors = 0;
-  EXPECT_THROW(melo_bipartition(h, opts), Error);
+  const MeloBipartitionResult r = melo_bipartition(h, opts);
+  EXPECT_GE(r.eigenvectors_used, 2u);
 }
 
 TEST(MeloDrivers, DEqualsNStillWorks) {

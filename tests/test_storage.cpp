@@ -122,7 +122,7 @@ TEST(BasisFile, HyperslabReadsAnyLeadingColumnRange) {
   fs::create_directories(dir.path());
   const std::string path = dir.path() + "/a.eb";
   const spectral::EigenBasis b = make_basis(23, 16, 5);
-  write_basis_file(path, make_key(5), b, "scalar", "flat", 4);
+  write_basis_file(path, make_key(5), b, "scalar", "flat", {}, 4);
 
   // Every d_req in [1, 16]: chunk-interior, chunk-boundary, full.
   for (std::size_t d_req = 1; d_req <= 16; ++d_req) {
